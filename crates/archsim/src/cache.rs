@@ -1,0 +1,691 @@
+//! Set-associative cache structures with CAT way-masking and CDP
+//! code/data partitioning.
+//!
+//! The knob experiments require *structural* cache models, not just miss
+//! curves: Intel Cache Allocation Technology (CAT) enables a subset of LLC
+//! ways (Fig. 10's capacity sweep) and Code/Data Prioritization (CDP) splits
+//! the enabled ways between instruction and data fills (Fig. 16). Both
+//! manipulate ways, so the simulator models caches as per-set LRU way
+//! arrays.
+
+use crate::error::ArchSimError;
+use crate::platform::CacheGeometry;
+
+/// Which hierarchy level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// First-level cache (L1I or L1D, depending on the stream).
+    L1,
+    /// Private unified L2.
+    L2,
+    /// Shared last-level cache.
+    Llc,
+    /// Main memory.
+    Memory,
+}
+
+/// Replacement policy for a set-associative cache.
+///
+/// The engine uses true LRU (the policy the reuse-distance calibration is
+/// exact for). Tree-PLRU — what real L1/L2 arrays implement — is provided
+/// for replacement-policy studies; it requires a power-of-two way count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Replacement {
+    /// True least-recently-used.
+    #[default]
+    Lru,
+    /// Tree pseudo-LRU (binary decision tree over the ways).
+    TreePlru,
+}
+
+/// A set-associative cache with per-set LRU or tree-PLRU replacement.
+///
+/// # Example
+///
+/// ```
+/// use softsku_archsim::cache::SetAssocCache;
+///
+/// let mut cache = SetAssocCache::new(64, 8).unwrap(); // 64 sets × 8 ways
+/// assert!(!cache.access(42)); // cold miss
+/// assert!(cache.access(42)); // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    sets: u64,
+    ways: u32,
+    replacement: Replacement,
+    /// Per-set tag vectors. For LRU: recency order (front = MRU). For
+    /// tree-PLRU: fixed way slots (`u64::MAX` = invalid).
+    lines: Vec<Vec<u64>>,
+    /// Tree-PLRU decision bits per set (unused for LRU).
+    plru_bits: Vec<u32>,
+    accesses: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `sets` sets of `ways` ways and LRU replacement.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchSimError::InvalidGeometry`] if either dimension is zero.
+    pub fn new(sets: u64, ways: u32) -> Result<Self, ArchSimError> {
+        Self::with_replacement(sets, ways, Replacement::Lru)
+    }
+
+    /// Creates a cache with an explicit replacement policy.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchSimError::InvalidGeometry`] if either dimension is zero, or if
+    /// tree-PLRU is requested with a non-power-of-two way count.
+    pub fn with_replacement(
+        sets: u64,
+        ways: u32,
+        replacement: Replacement,
+    ) -> Result<Self, ArchSimError> {
+        if sets == 0 || ways == 0 {
+            return Err(ArchSimError::InvalidGeometry(format!(
+                "cache needs nonzero sets and ways, got {sets}x{ways}"
+            )));
+        }
+        if replacement == Replacement::TreePlru && !ways.is_power_of_two() {
+            return Err(ArchSimError::InvalidGeometry(format!(
+                "tree-PLRU needs a power-of-two way count, got {ways}"
+            )));
+        }
+        let lines = match replacement {
+            Replacement::Lru => vec![Vec::with_capacity(ways as usize); sets as usize],
+            Replacement::TreePlru => vec![vec![u64::MAX; ways as usize]; sets as usize],
+        };
+        Ok(SetAssocCache {
+            sets,
+            ways,
+            replacement,
+            lines,
+            plru_bits: vec![0; sets as usize],
+            accesses: 0,
+            misses: 0,
+        })
+    }
+
+    /// The replacement policy in effect.
+    pub fn replacement(&self) -> Replacement {
+        self.replacement
+    }
+
+    /// Builds a cache from a platform [`CacheGeometry`], optionally enabling
+    /// only `ways_enabled` of its ways (CAT) and scaling capacity by
+    /// `capacity_scale` (multi-core contention share).
+    ///
+    /// # Errors
+    ///
+    /// [`ArchSimError::InvalidGeometry`] when `ways_enabled` is zero or
+    /// exceeds the geometry, or `capacity_scale` is not in `(0, 1]`.
+    pub fn from_geometry(
+        geom: &CacheGeometry,
+        ways_enabled: u32,
+        capacity_scale: f64,
+    ) -> Result<Self, ArchSimError> {
+        if ways_enabled == 0 || ways_enabled > geom.ways {
+            return Err(ArchSimError::InvalidGeometry(format!(
+                "{} of {} ways enabled",
+                ways_enabled, geom.ways
+            )));
+        }
+        if !(capacity_scale > 0.0 && capacity_scale <= 1.0) {
+            return Err(ArchSimError::InvalidGeometry(format!(
+                "capacity scale {capacity_scale} outside (0, 1]"
+            )));
+        }
+        let sets = ((geom.sets() as f64 * capacity_scale).round() as u64).max(1);
+        Self::new(sets, ways_enabled)
+    }
+
+    /// Looks up `line`, updating recency and filling on miss. Returns `true`
+    /// on hit.
+    pub fn access(&mut self, line: u64) -> bool {
+        self.accesses += 1;
+        let set = (mix64(line) % self.sets) as usize;
+        match self.replacement {
+            Replacement::Lru => {
+                let ways = &mut self.lines[set];
+                if let Some(pos) = ways.iter().position(|&t| t == line) {
+                    // Move to MRU.
+                    let tag = ways.remove(pos);
+                    ways.insert(0, tag);
+                    true
+                } else {
+                    self.misses += 1;
+                    if ways.len() == self.ways as usize {
+                        ways.pop();
+                    }
+                    ways.insert(0, line);
+                    false
+                }
+            }
+            Replacement::TreePlru => self.access_plru(set, line),
+        }
+    }
+
+    /// Tree-PLRU lookup: on a hit (or fill) the decision bits along the
+    /// way's root-to-leaf path are flipped to point *away* from it; the
+    /// victim is found by following the bits from the root.
+    fn access_plru(&mut self, set: usize, line: u64) -> bool {
+        let ways = self.ways as usize;
+        if let Some(pos) = self.lines[set].iter().position(|&t| t == line) {
+            self.plru_touch(set, pos);
+            return true;
+        }
+        self.misses += 1;
+        // Prefer an invalid slot before evicting.
+        let victim = match self.lines[set].iter().position(|&t| t == u64::MAX) {
+            Some(empty) => empty,
+            None => self.plru_victim(set),
+        };
+        self.lines[set][victim] = line;
+        self.plru_touch(set, victim);
+        let _ = ways;
+        false
+    }
+
+    /// Follows the decision bits from the root to the PLRU victim way.
+    fn plru_victim(&self, set: usize) -> usize {
+        let mut node = 0usize; // root of the implicit binary tree
+        let mut lo = 0usize;
+        let mut hi = self.ways as usize;
+        let bits = self.plru_bits[set];
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if bits & (1 << node) == 0 {
+                hi = mid;
+                node = 2 * node + 1;
+            } else {
+                lo = mid;
+                node = 2 * node + 2;
+            }
+        }
+        lo
+    }
+
+    /// Flips the path bits so they point away from `way`.
+    fn plru_touch(&mut self, set: usize, way: usize) {
+        let mut node = 0usize;
+        let mut lo = 0usize;
+        let mut hi = self.ways as usize;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if way < mid {
+                // Accessed the left half: point the bit right.
+                self.plru_bits[set] |= 1 << node;
+                hi = mid;
+                node = 2 * node + 1;
+            } else {
+                self.plru_bits[set] &= !(1 << node);
+                lo = mid;
+                node = 2 * node + 2;
+            }
+        }
+    }
+
+    /// Invalidates a random `fraction` of resident lines (context-switch
+    /// pollution). Deterministic: drops the LRU tail of each set.
+    pub fn flush_fraction(&mut self, fraction: f64) {
+        let fraction = fraction.clamp(0.0, 1.0);
+        match self.replacement {
+            Replacement::Lru => {
+                for ways in &mut self.lines {
+                    let keep = ((ways.len() as f64) * (1.0 - fraction)).floor() as usize;
+                    ways.truncate(keep);
+                }
+            }
+            Replacement::TreePlru => {
+                // Invalidate a prefix of each set's way slots.
+                let drop = ((self.ways as f64) * fraction).round() as usize;
+                for ways in &mut self.lines {
+                    for slot in ways.iter_mut().take(drop) {
+                        *slot = u64::MAX;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total lookups so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss ratio so far (0 when never accessed).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Number of enabled ways.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Resets the hit/miss statistics without touching contents (used to
+    /// discard warm-up).
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+/// Avalanching 64-bit hash (splitmix64 finalizer) used for set indexing, so
+/// sequential line ids spread uniformly over sets.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A CDP partition of the LLC's enabled ways (paper Sec. 5, knob 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CdpPartition {
+    /// Ways dedicated to data fills.
+    pub data_ways: u32,
+    /// Ways dedicated to code fills.
+    pub code_ways: u32,
+}
+
+impl CdpPartition {
+    /// Creates a partition, checking both sides are nonzero and the total
+    /// matches `total_ways` (the paper sweeps {1, N−1} … {N−1, 1}).
+    ///
+    /// # Errors
+    ///
+    /// [`ArchSimError::InvalidCdpPartition`] on mismatch or a starved side.
+    pub fn new(data_ways: u32, code_ways: u32, total_ways: u32) -> Result<Self, ArchSimError> {
+        if data_ways == 0 || code_ways == 0 || data_ways + code_ways != total_ways {
+            return Err(ArchSimError::InvalidCdpPartition {
+                data_ways,
+                code_ways,
+                total_ways,
+            });
+        }
+        Ok(CdpPartition { data_ways, code_ways })
+    }
+
+    /// Every valid partition of `total_ways` in the paper's sweep order
+    /// ({1, N−1} … {N−1, 1}, labelled {data, code}).
+    pub fn sweep(total_ways: u32) -> Vec<CdpPartition> {
+        (1..total_ways)
+            .map(|data| CdpPartition {
+                data_ways: data,
+                code_ways: total_ways - data,
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for CdpPartition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{{}, {}}}", self.data_ways, self.code_ways)
+    }
+}
+
+/// The shared last-level cache, either unified or CDP-partitioned.
+#[derive(Debug, Clone)]
+pub enum SharedLlc {
+    /// Code and data share all enabled ways (production default).
+    Unified(SetAssocCache),
+    /// Code and data fill disjoint way groups.
+    Partitioned {
+        /// Data-side partition.
+        data: SetAssocCache,
+        /// Code-side partition.
+        code: SetAssocCache,
+    },
+}
+
+impl SharedLlc {
+    /// Builds the LLC for `geom` with `ways_enabled` CAT-enabled ways,
+    /// optional CDP partition, and a contention capacity scale.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors; rejects partitions that do not sum to the
+    /// enabled way count.
+    pub fn build(
+        geom: &CacheGeometry,
+        ways_enabled: u32,
+        cdp: Option<CdpPartition>,
+        capacity_scale: f64,
+    ) -> Result<Self, ArchSimError> {
+        match cdp {
+            None => Ok(SharedLlc::Unified(SetAssocCache::from_geometry(
+                geom,
+                ways_enabled,
+                capacity_scale,
+            )?)),
+            Some(p) => {
+                if p.data_ways + p.code_ways != ways_enabled {
+                    return Err(ArchSimError::InvalidCdpPartition {
+                        data_ways: p.data_ways,
+                        code_ways: p.code_ways,
+                        total_ways: ways_enabled,
+                    });
+                }
+                let data = SetAssocCache::from_geometry(geom, p.data_ways, capacity_scale)?;
+                let code = SetAssocCache::from_geometry(geom, p.code_ways, capacity_scale)?;
+                Ok(SharedLlc::Partitioned { data, code })
+            }
+        }
+    }
+
+    /// Builds an LLC that models the *natural competitive split* between the
+    /// code and data streams under shared LRU: each side gets a
+    /// capacity-scaled partition with the full enabled associativity. The
+    /// CDP knob replaces this competitive split with an enforced way split
+    /// (see [`SharedLlc::build`] with `Some(partition)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors; `code_share` must lie in `(0, 1)`.
+    pub fn natural_split(
+        geom: &CacheGeometry,
+        ways_enabled: u32,
+        code_share: f64,
+        capacity_scale: f64,
+    ) -> Result<Self, ArchSimError> {
+        if !(code_share > 0.0 && code_share < 1.0) {
+            return Err(ArchSimError::InvalidFraction {
+                name: "code_share".to_string(),
+                value: code_share,
+            });
+        }
+        let code =
+            SetAssocCache::from_geometry(geom, ways_enabled, capacity_scale * code_share)?;
+        let data = SetAssocCache::from_geometry(
+            geom,
+            ways_enabled,
+            capacity_scale * (1.0 - code_share),
+        )?;
+        Ok(SharedLlc::Partitioned { data, code })
+    }
+
+    /// Looks up a data line.
+    pub fn access_data(&mut self, line: u64) -> bool {
+        match self {
+            SharedLlc::Unified(c) => c.access(line),
+            SharedLlc::Partitioned { data, .. } => data.access(line),
+        }
+    }
+
+    /// Looks up a code line.
+    pub fn access_code(&mut self, line: u64) -> bool {
+        match self {
+            SharedLlc::Unified(c) => c.access(line),
+            SharedLlc::Partitioned { code, .. } => code.access(line),
+        }
+    }
+
+    /// Capacity in lines available to (code, data) fills. For a unified LLC
+    /// the streams share the space; we report an even split as the pre-fill
+    /// budget.
+    pub fn capacities(&self) -> (u64, u64) {
+        match self {
+            SharedLlc::Unified(c) => {
+                let lines = c.sets() * c.ways() as u64;
+                (lines / 2, lines / 2)
+            }
+            SharedLlc::Partitioned { data, code } => (
+                code.sets() * code.ways() as u64,
+                data.sets() * data.ways() as u64,
+            ),
+        }
+    }
+
+    /// Resets statistics on all partitions.
+    pub fn reset_stats(&mut self) {
+        match self {
+            SharedLlc::Unified(c) => c.reset_stats(),
+            SharedLlc::Partitioned { data, code } => {
+                data.reset_stats();
+                code.reset_stats();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformSpec;
+
+    #[test]
+    fn lru_behaviour_within_a_set() {
+        // Single set, 2 ways: classic LRU sequence.
+        let mut c = SetAssocCache::new(1, 2).unwrap();
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1)); // 1 is MRU now, 2 is LRU
+        assert!(!c.access(3)); // evicts 2
+        assert!(!c.access(2)); // 2 was evicted
+        assert!(c.access(3));
+    }
+
+    #[test]
+    fn miss_ratio_tracks_reuse() {
+        let mut c = SetAssocCache::new(256, 8).unwrap();
+        // A working set at half capacity: the second pass hits except for
+        // the few sets that the hash overfills (Poisson tail).
+        for line in 0..1024u64 {
+            c.access(line);
+        }
+        c.reset_stats();
+        for line in 0..1024u64 {
+            c.access(line);
+        }
+        assert!(
+            c.miss_ratio() < 0.05,
+            "half-capacity working set should mostly hit: {}",
+            c.miss_ratio()
+        );
+        // A working set 4x capacity thrashes LRU completely.
+        let mut big = SetAssocCache::new(64, 4).unwrap();
+        for _ in 0..4 {
+            for line in 0..1024u64 {
+                big.access(line);
+            }
+        }
+        assert!(big.miss_ratio() > 0.9);
+    }
+
+    #[test]
+    fn geometry_construction_and_cat() {
+        let spec = PlatformSpec::skylake18();
+        let full = SetAssocCache::from_geometry(&spec.llc, spec.llc.ways, 1.0).unwrap();
+        assert_eq!(full.ways(), 11);
+        assert_eq!(full.sets(), spec.llc.sets());
+        let cat = SetAssocCache::from_geometry(&spec.llc, 4, 1.0).unwrap();
+        assert_eq!(cat.ways(), 4);
+        assert!(SetAssocCache::from_geometry(&spec.llc, 0, 1.0).is_err());
+        assert!(SetAssocCache::from_geometry(&spec.llc, 12, 1.0).is_err());
+        assert!(SetAssocCache::from_geometry(&spec.llc, 4, 0.0).is_err());
+    }
+
+    #[test]
+    fn fewer_ways_means_more_misses() {
+        let spec = PlatformSpec::skylake18();
+        let mut misses = Vec::new();
+        for ways in [2u32, 6, 11] {
+            let mut c = SetAssocCache::from_geometry(&spec.llc, ways, 0.02).unwrap();
+            // Zipf-ish cyclic pattern bigger than the smallest config.
+            for rep in 0..3 {
+                for i in 0..40_000u64 {
+                    c.access(i % (10_000 + rep * 7));
+                }
+            }
+            misses.push(c.miss_ratio());
+        }
+        assert!(misses[0] > misses[1], "2 ways {} vs 6 ways {}", misses[0], misses[1]);
+        assert!(misses[1] > misses[2], "6 ways {} vs 11 ways {}", misses[1], misses[2]);
+    }
+
+    #[test]
+    fn cdp_partition_validation() {
+        assert!(CdpPartition::new(6, 5, 11).is_ok());
+        assert!(CdpPartition::new(0, 11, 11).is_err());
+        assert!(CdpPartition::new(6, 6, 11).is_err());
+        let sweep = CdpPartition::sweep(11);
+        assert_eq!(sweep.len(), 10);
+        assert_eq!(sweep[0], CdpPartition { data_ways: 1, code_ways: 10 });
+        assert_eq!(sweep[9], CdpPartition { data_ways: 10, code_ways: 1 });
+        assert_eq!(sweep[5].to_string(), "{6, 5}");
+    }
+
+    #[test]
+    fn partitioned_llc_isolates_streams() {
+        let spec = PlatformSpec::skylake18();
+        let p = CdpPartition::new(6, 5, 11).unwrap();
+        let mut llc = SharedLlc::build(&spec.llc, 11, Some(p), 0.01).unwrap();
+        // Fill the code side well below its partition capacity (~1.8k lines
+        // at this scale); the data stream must not evict it.
+        for i in 0..800u64 {
+            llc.access_code(i);
+        }
+        for i in 0..1_000_000u64 {
+            llc.access_data(i);
+        }
+        llc.reset_stats();
+        let mut hits = 0;
+        for i in 0..800u64 {
+            if llc.access_code(i) {
+                hits += 1;
+            }
+        }
+        // A handful of self-conflict misses from hash-overfilled sets are
+        // expected; wholesale eviction (as in the unified case below, < 200
+        // hits) is not.
+        assert!(
+            hits >= 700,
+            "data stream must not evict partitioned code: {hits}/800 hits"
+        );
+    }
+
+    #[test]
+    fn unified_llc_lets_data_evict_code() {
+        let spec = PlatformSpec::skylake18();
+        let mut llc = SharedLlc::build(&spec.llc, 11, None, 0.01).unwrap();
+        for i in 0..2_000u64 {
+            llc.access_code(i);
+        }
+        for i in 0..1_000_000u64 {
+            llc.access_data(i + 1_000_000_000);
+        }
+        llc.reset_stats();
+        let mut hits = 0;
+        for i in 0..2_000u64 {
+            if llc.access_code(i) {
+                hits += 1;
+            }
+        }
+        assert!(hits < 200, "data stream should have evicted code, hits = {hits}");
+    }
+
+    #[test]
+    fn flush_fraction_pollutes() {
+        let mut c = SetAssocCache::new(64, 8).unwrap();
+        for i in 0..512u64 {
+            c.access(i);
+        }
+        c.flush_fraction(0.5);
+        c.reset_stats();
+        for i in 0..512u64 {
+            c.access(i);
+        }
+        assert!(
+            c.miss_ratio() > 0.3 && c.miss_ratio() < 0.9,
+            "flush(0.5) should cause substantial re-misses: {}",
+            c.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn plru_requires_power_of_two_ways_and_behaves_like_a_cache() {
+        assert!(SetAssocCache::with_replacement(16, 11, Replacement::TreePlru).is_err());
+        let mut c = SetAssocCache::with_replacement(1, 4, Replacement::TreePlru).unwrap();
+        assert_eq!(c.replacement(), Replacement::TreePlru);
+        // Fill 4 ways; all resident.
+        for line in 0..4u64 {
+            assert!(!c.access(line));
+        }
+        for line in 0..4u64 {
+            assert!(c.access(line), "line {line} resident");
+        }
+        // A fifth line evicts exactly one of them.
+        assert!(!c.access(99));
+        let resident = (0..4u64).filter(|&l| {
+            // Probe without polluting: clone per probe.
+            let mut probe = c.clone();
+            probe.access(l)
+        }).count();
+        assert_eq!(resident, 3, "one victim was evicted");
+    }
+
+    #[test]
+    fn plru_miss_ratio_tracks_lru_within_tolerance() {
+        // On a Zipf-ish cyclic pattern, tree-PLRU approximates true LRU.
+        let mut lru = SetAssocCache::with_replacement(256, 8, Replacement::Lru).unwrap();
+        let mut plru = SetAssocCache::with_replacement(256, 8, Replacement::TreePlru).unwrap();
+        let mut state = 7u64;
+        for _ in 0..200_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Mixture: 75% hot set (1k lines), 25% cold sweep (32k lines).
+            let line = if state % 4 != 0 {
+                (state >> 20) % 1_000
+            } else {
+                100_000 + (state >> 20) % 32_000
+            };
+            lru.access(line);
+            plru.access(line);
+        }
+        let (l, p) = (lru.miss_ratio(), plru.miss_ratio());
+        assert!(
+            (p - l).abs() / l < 0.10,
+            "PLRU miss ratio {p:.4} vs LRU {l:.4}"
+        );
+        assert!(p >= l * 0.95, "PLRU should not beat LRU materially");
+    }
+
+    #[test]
+    fn plru_flush_invalidates() {
+        let mut c = SetAssocCache::with_replacement(8, 8, Replacement::TreePlru).unwrap();
+        for line in 0..64u64 {
+            c.access(line);
+        }
+        c.flush_fraction(1.0);
+        c.reset_stats();
+        for line in 0..64u64 {
+            c.access(line);
+        }
+        assert!(c.miss_ratio() > 0.99, "full flush: {}", c.miss_ratio());
+    }
+
+    #[test]
+    fn cdp_must_match_enabled_ways() {
+        let spec = PlatformSpec::skylake18();
+        let p = CdpPartition::new(6, 5, 11).unwrap();
+        // Enabled ways (8) != partition total (11).
+        assert!(SharedLlc::build(&spec.llc, 8, Some(p), 1.0).is_err());
+    }
+}

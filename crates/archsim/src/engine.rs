@@ -1,0 +1,862 @@
+//! The simulation engine: ties trace generation, cache/TLB/branch structures,
+//! prefetch effects, the memory model, and the CPI/TMAM accounting into one
+//! window-level evaluation with a bandwidth↔latency fixed point.
+
+use crate::branch::BranchPredictor;
+use crate::cache::{CdpPartition, SetAssocCache, SharedLlc};
+use crate::counters::Counters;
+use crate::error::ArchSimError;
+use crate::memory::MemoryModel;
+use crate::pagemap::{PagePolicy, ThpMode, ThpPlatformTraits};
+use crate::platform::{PlatformKind, PlatformSpec, CACHE_LINE_BYTES};
+use crate::prefetch::{PrefetchEffect, PrefetcherConfig};
+use crate::stream::StreamSpec;
+use crate::tlb::{TlbHierarchy, TlbOutcome};
+use crate::tmam::TmamBreakdown;
+use crate::trace::TraceGenerator;
+
+/// Everything the seven µSKU knobs can change about a server, plus the
+/// platform it runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerConfig {
+    /// The hardware platform.
+    pub platform: PlatformSpec,
+    /// Core-domain frequency in GHz (knob 1).
+    pub core_freq_ghz: f64,
+    /// Uncore-domain frequency in GHz (knob 2).
+    pub uncore_freq_ghz: f64,
+    /// Active physical cores (knob 3; the rest are `isolcpus`-parked).
+    pub active_cores: u32,
+    /// CAT: LLC ways enabled for the workload.
+    pub llc_ways_enabled: u32,
+    /// CDP partition of the enabled ways, if any (knob 4).
+    pub cdp: Option<CdpPartition>,
+    /// Hardware prefetcher enables (knob 5).
+    pub prefetchers: PrefetcherConfig,
+    /// Transparent huge page mode (knob 6).
+    pub thp: ThpMode,
+    /// Statically-reserved 2 MiB pages (knob 7).
+    pub shp_pages: u32,
+    /// Machine DRAM capacity (for SHP over-reservation pressure).
+    pub machine_memory_bytes: u64,
+}
+
+impl ServerConfig {
+    /// The *stock* configuration of Sec. 6.2: maximum core and uncore
+    /// frequency, all cores active, no CDP, all prefetchers on, THP always
+    /// on, and no SHPs.
+    pub fn stock(platform: PlatformSpec) -> Self {
+        let core = platform.core_freq_range_ghz.1;
+        let uncore = platform.uncore_freq_range_ghz.1;
+        let cores = platform.total_cores();
+        let ways = platform.llc.ways;
+        ServerConfig {
+            platform,
+            core_freq_ghz: core,
+            uncore_freq_ghz: uncore,
+            active_cores: cores,
+            llc_ways_enabled: ways,
+            cdp: None,
+            prefetchers: PrefetcherConfig::all_on(),
+            thp: ThpMode::AlwaysOn,
+            shp_pages: 0,
+            machine_memory_bytes: 64 << 30,
+        }
+    }
+
+    /// Validates every field against the platform.
+    ///
+    /// # Errors
+    ///
+    /// The specific [`ArchSimError`] for the first invalid field.
+    pub fn validate(&self) -> Result<(), ArchSimError> {
+        self.platform.validate_core_freq(self.core_freq_ghz)?;
+        self.platform.validate_uncore_freq(self.uncore_freq_ghz)?;
+        self.platform.validate_core_count(self.active_cores)?;
+        if self.llc_ways_enabled == 0 || self.llc_ways_enabled > self.platform.llc.ways {
+            return Err(ArchSimError::InvalidGeometry(format!(
+                "{} of {} LLC ways enabled",
+                self.llc_ways_enabled, self.platform.llc.ways
+            )));
+        }
+        if let Some(p) = self.cdp {
+            if !self.platform.supports_rdt {
+                // Broadwell in this fleet lacks RDT kernel support only for
+                // *some* extensions; the paper still sweeps CDP on it, so we
+                // allow CDP and only validate the partition shape.
+            }
+            if p.data_ways + p.code_ways != self.llc_ways_enabled {
+                return Err(ArchSimError::InvalidCdpPartition {
+                    data_ways: p.data_ways,
+                    code_ways: p.code_ways,
+                    total_ways: self.llc_ways_enabled,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// THP allocation behaviour for this platform (older Broadwell fleet is
+    /// modelled as fragmented; see `pagemap`).
+    pub fn thp_traits(&self) -> ThpPlatformTraits {
+        match self.platform.kind {
+            PlatformKind::Broadwell16 => ThpPlatformTraits::fragmented(),
+            _ => ThpPlatformTraits::healthy(),
+        }
+    }
+
+    /// Core frequency after the AVX power-budget tax (paper Sec. 6.1: Ads1
+    /// runs at 2.0 GHz because AVX eats part of the budget).
+    pub fn effective_core_freq_ghz(&self, fp_fraction: f64) -> f64 {
+        if fp_fraction >= self.platform.avx_fp_threshold {
+            (self.core_freq_ghz - self.platform.avx_freq_tax_ghz)
+                .max(self.platform.core_freq_range_ghz.0)
+        } else {
+            self.core_freq_ghz
+        }
+    }
+}
+
+/// Cycle attribution produced by the CPI model (per simulated window).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CpiParts {
+    /// Issue/execute cycles (retiring + core-bound).
+    pub base: f64,
+    /// Instruction-supply stall cycles.
+    pub frontend: f64,
+    /// Branch misprediction recovery cycles.
+    pub bad_speculation: f64,
+    /// Data-supply stall cycles.
+    pub backend_memory: f64,
+    /// Context-switch overhead cycles.
+    pub context_switch: f64,
+}
+
+impl CpiParts {
+    /// Total cycles.
+    pub fn total(&self) -> f64 {
+        self.base + self.frontend + self.bad_speculation + self.backend_memory + self.context_switch
+    }
+}
+
+/// Result of simulating one window at one operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowReport {
+    /// Raw event counts.
+    pub counters: Counters,
+    /// Single-thread IPC.
+    pub ipc_thread: f64,
+    /// Per-core IPC with SMT (what Fig. 6 reports).
+    pub ipc_core: f64,
+    /// Millions of instructions per second, one core.
+    pub mips_per_core: f64,
+    /// MIPS across all active cores at the given load (µSKU's metric).
+    pub mips_total: f64,
+    /// Average memory bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Loaded memory latency, ns.
+    pub mem_latency_ns: f64,
+    /// Memory-bandwidth utilization (0–1).
+    pub mem_utilization: f64,
+    /// True when the operating point is effectively bandwidth-bound.
+    pub bandwidth_bound: bool,
+    /// Cycle attribution.
+    pub cpi: CpiParts,
+    /// Top-down pipeline-slot breakdown.
+    pub tmam: TmamBreakdown,
+    /// Core frequency actually applied (after the AVX tax).
+    pub effective_core_freq_ghz: f64,
+    /// Fraction of CPU time spent context switching (Fig. 4 midpoint).
+    pub context_switch_fraction: f64,
+}
+
+/// Fraction of the window used to warm structures before counting.
+const WARMUP_FRACTION: f64 = 0.25;
+/// STLB hit penalty in cycles.
+const STLB_HIT_CYCLES: f64 = 9.0;
+/// Exposed fraction of an L1i-miss/L2-hit refill (decoupled front ends and
+/// fetch-ahead hide most of it).
+const FE_L2_CHARGE: f64 = 0.25;
+/// Exposed fraction of an L2-code-miss/LLC-hit refill.
+const FE_LLC_CHARGE: f64 = 0.35;
+/// Exposed fraction of a code fetch from memory ("the latency of code
+/// misses is not hidden" — but fetch-ahead still overlaps a tail).
+const FE_MEM_CHARGE: f64 = 0.55;
+/// Exposed fraction of an ITLB page walk.
+const ITLB_WALK_CHARGE: f64 = 0.40;
+/// Exposed fraction of a DTLB page walk (overlaps OoO execution).
+const DTLB_WALK_CHARGE: f64 = 0.40;
+/// SHP pressure to extra-LLC-miss conversion gain.
+const SHP_PRESSURE_GAIN: f64 = 10.0;
+/// Extra backend cycles per FP op when the FP fraction is high (port
+/// pressure under dense AVX work).
+const FP_PRESSURE_CPI: f64 = 0.15;
+
+/// The window-level simulator for one (platform config, workload) pair.
+#[derive(Debug)]
+pub struct Engine {
+    config: ServerConfig,
+    spec: StreamSpec,
+    seed: u64,
+}
+
+impl Engine {
+    /// Creates an engine after validating the configuration and stream spec.
+    ///
+    /// # Errors
+    ///
+    /// Any validation error from [`ServerConfig::validate`] or
+    /// [`StreamSpec::validate`].
+    pub fn new(config: ServerConfig, spec: StreamSpec, seed: u64) -> Result<Self, ArchSimError> {
+        config.validate()?;
+        spec.validate()?;
+        Ok(Engine { config, spec, seed })
+    }
+
+    /// The configuration under simulation.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The workload stream specification.
+    pub fn spec(&self) -> &StreamSpec {
+        &self.spec
+    }
+
+    /// Simulates `instructions` instructions at `load_fraction` of peak
+    /// offered load and returns the full report.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchSimError::FixedPointDiverged`] if the bandwidth/latency
+    /// iteration fails to settle (does not happen for valid configs; the
+    /// queueing curve is a contraction under damping).
+    pub fn run_window(
+        &self,
+        instructions: u64,
+        load_fraction: f64,
+    ) -> Result<WindowReport, ArchSimError> {
+        self.run_colocated(instructions, load_fraction, 0.0, None)
+    }
+
+    /// Simulates a window while sharing the socket with a co-runner: the
+    /// co-runner contributes `background_bw_gbps` of memory traffic to the
+    /// loaded-latency queue, and `llc_share` (when given) overrides this
+    /// workload's effective LLC fraction (paper Sec. 7: "µSKU and
+    /// co-location"). `run_window` is the dedicated-server special case.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run_window`], plus
+    /// [`ArchSimError::InvalidFraction`] for an out-of-range `llc_share`.
+    pub fn run_colocated(
+        &self,
+        instructions: u64,
+        load_fraction: f64,
+        background_bw_gbps: f64,
+        llc_share: Option<f64>,
+    ) -> Result<WindowReport, ArchSimError> {
+        if let Some(s) = llc_share {
+            if !(s > 0.0 && s <= 1.0) {
+                return Err(ArchSimError::InvalidFraction {
+                    name: "llc_share".to_string(),
+                    value: s,
+                });
+            }
+        }
+        let cfg = &self.config;
+        let spec = &self.spec;
+        let plat = &cfg.platform;
+        let load = load_fraction.clamp(0.05, 1.0);
+
+        // ------------------------------------------------------------------
+        // 1. Resolve derived policies.
+        // ------------------------------------------------------------------
+        let freq = cfg.effective_core_freq_ghz(spec.mix.fp);
+        let policy = PagePolicy::resolve(
+            &spec.pages,
+            cfg.thp,
+            cfg.shp_pages,
+            cfg.thp_traits(),
+            cfg.machine_memory_bytes,
+        );
+        let pf = PrefetchEffect::resolve(cfg.prefetchers, &spec.prefetch);
+        let memory = MemoryModel::new(plat, cfg.uncore_freq_ghz);
+
+        // Per-core effective LLC share under multi-core contention. The LLC
+        // is per-socket, so only cores within a socket contend. A co-runner
+        // override replaces the same-workload contention estimate.
+        let n = cfg.active_cores as f64;
+        let contending = n.min(plat.cores_per_socket as f64);
+        let share = match llc_share {
+            Some(s) => s,
+            None => 1.0 / (1.0 + (contending - 1.0) * spec.llc_contention),
+        };
+
+        // ------------------------------------------------------------------
+        // 2. Build structures.
+        // ------------------------------------------------------------------
+        let mut l1i = SetAssocCache::from_geometry(&plat.l1i, plat.l1i.ways, 1.0)?;
+        let mut l1d = SetAssocCache::from_geometry(&plat.l1d, plat.l1d.ways, 1.0)?;
+        let mut l2 = SetAssocCache::from_geometry(&plat.l2, plat.l2.ways, 1.0)?;
+        let mut llc = match cfg.cdp {
+            Some(p) => SharedLlc::build(&plat.llc, cfg.llc_ways_enabled, Some(p), share)?,
+            None => SharedLlc::natural_split(
+                &plat.llc,
+                cfg.llc_ways_enabled,
+                spec.natural_code_llc_share.clamp(0.05, 0.95),
+                share,
+            )?,
+        };
+        let mut tlb = TlbHierarchy::new(&plat.itlb, &plat.dtlb, plat.stlb_entries)?;
+        let mut bpu = BranchPredictor::new(
+            spec.branch.base_mispredict,
+            spec.branch.branch_working_set,
+            plat.btb_entries,
+        );
+        let huge_mix = crate::trace::HugePageMix {
+            code_huge_fraction: policy.huge_code_fraction,
+            data_huge_fraction: policy.huge_data_fraction,
+        };
+        let mut gen = TraceGenerator::new(spec, huge_mix, self.seed);
+        let mut rng = rand_for(self.seed ^ 0xBEEF);
+
+        // Context-switch injection interval (instructions); uses a nominal
+        // IPC guess of 1 — only the *pollution placement* depends on it, the
+        // direct cost is computed analytically below.
+        let cs_rate = spec.context_switch.rate_per_sec * load;
+        let insns_per_switch = if cs_rate > 0.0 {
+            ((freq * 1e9) / cs_rate).max(1_000.0) as u64
+        } else {
+            u64::MAX
+        };
+
+        // ------------------------------------------------------------------
+        // 3. Pre-fill structures with steady-state MRU contents.
+        //
+        // The stack mappers start at steady state (pre-warmed stacks), but a
+        // cold cache would need millions of accesses before lines at
+        // LLC-scale reuse distances could hit: every deep re-reference would
+        // be an in-structure compulsory miss and large-capacity hits would be
+        // invisible in a short window. Seed each structure with the top of
+        // the corresponding stream's LRU stack, deepest-first so recency
+        // order matches.
+        // ------------------------------------------------------------------
+        use crate::trace::prewarm_len;
+        // Code ids share the unified L2/LLC with data ids; tag them apart.
+        const CODE_TAG: u64 = 1 << 62;
+        let code_pw = prewarm_len(&spec.code_reuse);
+        let data_pw = prewarm_len(&spec.data_reuse);
+        {
+            let (code_cap, data_cap) = llc.capacities();
+            for id in code_pw.saturating_sub(code_cap)..code_pw {
+                llc.access_code(id);
+            }
+            for id in data_pw.saturating_sub(data_cap)..data_pw {
+                llc.access_data(id);
+            }
+            // L2 is unified: interleave the two streams' MRU halves.
+            let half = plat.l2.lines() / 2;
+            for i in (1..=half).rev() {
+                if i <= code_pw {
+                    l2.access((code_pw - i) | CODE_TAG);
+                }
+                if i <= data_pw {
+                    l2.access(data_pw - i);
+                }
+            }
+            for id in code_pw.saturating_sub(plat.l1i.lines())..code_pw {
+                l1i.access(id);
+            }
+            for id in data_pw.saturating_sub(plat.l1d.lines())..data_pw {
+                l1d.access(id);
+            }
+            // TLBs: seed the 4 KiB sides (the dominant arrays) with the top
+            // pages of each page stream; accesses insert into the STLB too.
+            let cp_pw = prewarm_len(&spec.code_page_reuse);
+            let dp_pw = prewarm_len(&spec.data_page_reuse);
+            let seedn = plat.stlb_entries as u64 / 2;
+            for id in cp_pw.saturating_sub(seedn)..cp_pw {
+                let _ = tlb.access_code(id, false);
+            }
+            for id in dp_pw.saturating_sub(seedn)..dp_pw {
+                let _ = tlb.access_data(id, false);
+            }
+            l1i.reset_stats();
+            l1d.reset_stats();
+            l2.reset_stats();
+            llc.reset_stats();
+            tlb.reset_stats();
+        }
+
+        // ------------------------------------------------------------------
+        // 4. Drive the structures.
+        // ------------------------------------------------------------------
+        // The pre-fill above supplies steady-state contents; the warm-up
+        // only needs to mix the interleaved structures.
+        let warmup = ((instructions as f64 * WARMUP_FRACTION) as u64).clamp(50_000, 400_000);
+        let mut c = Counters::default();
+        let total = instructions + warmup;
+
+        for i in 0..total {
+            if i == warmup {
+                l1i.reset_stats();
+                l1d.reset_stats();
+                l2.reset_stats();
+                llc.reset_stats();
+                tlb.reset_stats();
+                bpu.reset_stats();
+                c = Counters::default();
+            }
+            let ev = gen.next_event();
+            c.instructions += 1;
+
+            // Instruction fetch. The LLC is probed (and its recency updated)
+            // on every L1 miss — mostly-inclusive behaviour; without the
+            // recency refresh, lines hot in L2 would go LLC-stale and the
+            // capacity between L2 and LLC would be invisible.
+            c.code_accesses += 1;
+            if !l1i.access(ev.code_line) {
+                c.l1i_misses += 1;
+                let l2_hit = l2.access(ev.code_line | CODE_TAG);
+                let llc_hit = llc.access_code(ev.code_line);
+                if !l2_hit {
+                    c.l2_code_misses += 1;
+                    if !llc_hit {
+                        c.llc_code_misses += 1;
+                    }
+                }
+            }
+            // ITLB.
+            let _ = tlb.access_code(ev.code_page.page, ev.code_page.is_huge);
+
+            // Data side.
+            if let Some(d) = ev.data {
+                c.data_accesses += 1;
+                if d.is_store {
+                    c.stores += 1;
+                } else {
+                    c.loads += 1;
+                }
+                if !l1d.access(d.line) {
+                    c.l1d_misses += 1;
+                    let l2_hit = l2.access(d.line);
+                    let llc_hit = llc.access_data(d.line);
+                    if !l2_hit {
+                        c.l2_data_misses += 1;
+                        if !llc_hit {
+                            c.llc_data_misses += 1;
+                        }
+                    }
+                }
+                let out = tlb.access_data(d.page.page, d.page.is_huge);
+                if out != TlbOutcome::L1Hit {
+                    if d.is_store {
+                        c.dtlb_store_misses += 1;
+                    } else {
+                        c.dtlb_load_misses += 1;
+                    }
+                }
+            }
+
+            // Branch.
+            if matches!(ev.class, crate::trace::InsnClass::Branch) {
+                c.branches += 1;
+                if bpu.predict(&mut rng) {
+                    c.branch_mispredicts += 1;
+                }
+            }
+            if matches!(ev.class, crate::trace::InsnClass::Fp) {
+                c.fp_ops += 1;
+            }
+
+            // Context-switch pollution.
+            if i > 0 && i % insns_per_switch == 0 {
+                let poll = spec.context_switch.pollution_fraction;
+                l1i.flush_fraction(poll);
+                l1d.flush_fraction(poll);
+                l2.flush_fraction(poll * 0.5);
+                tlb.flush_fraction(poll);
+            }
+        }
+
+        // Fill TLB/branch aggregate stats into counters.
+        let (_, itlb_miss, itlb_walk) = tlb.itlb_stats();
+        let (_, dtlb_miss, dtlb_walk) = tlb.dtlb_stats();
+        c.itlb_misses = itlb_miss;
+        c.itlb_walks = itlb_walk;
+        c.dtlb_misses = dtlb_miss;
+        c.dtlb_walks = dtlb_walk;
+        let (_, _, btb) = bpu.stats();
+        c.btb_misses = btb;
+
+        // ------------------------------------------------------------------
+        // 5. Prefetch coverage + SHP pressure transforms (aggregate).
+        // ------------------------------------------------------------------
+        let ins = c.instructions as f64;
+        let shp_bump = 1.0 + policy.shp_pressure_penalty * SHP_PRESSURE_GAIN;
+
+        let m1 = c.l1d_misses as f64;
+        let m2 = c.l2_data_misses as f64 * shp_bump;
+        let m3 = c.llc_data_misses as f64 * shp_bump;
+        let l1d_eff = m1 * (1.0 - pf.l1d_coverage);
+        let l2d_eff = m2 * (1.0 - pf.l1d_coverage * 0.5) * (1.0 - pf.l2_coverage);
+        let llcd_eff = m3 * (1.0 - pf.l1d_coverage * 0.3) * (1.0 - pf.l2_coverage * 0.5);
+        // Memory-latency exposure after stream-prefetch hiding.
+        let llcd_exposed = llcd_eff * (1.0 - pf.llc_coverage);
+
+        // Prefetch waste at the *memory interface*: only prefetches that
+        // fill from DRAM cost bandwidth — the DCU units fill from L2/LLC.
+        // Waste scales with the LLC-miss fill volume initiated by the L2
+        // stream machinery.
+        let mem_prefetch_share = pf.llc_coverage + 0.3 * pf.l2_coverage;
+        let waste_lines = m3 * mem_prefetch_share * pf.traffic_overhead;
+
+        // Memory traffic (lines): all LLC data misses move a line regardless
+        // of latency hiding, plus code misses, prefetch waste, writebacks.
+        let store_share = if c.data_accesses > 0 {
+            c.stores as f64 / c.data_accesses as f64
+        } else {
+            0.0
+        };
+        c.mem_demand_lines = m3 + c.llc_code_misses as f64;
+        c.mem_prefetch_lines = waste_lines;
+        c.mem_writeback_lines = m3 * store_share * spec.writeback_factor * 2.0;
+        let pf_frac = spec.extra_traffic_prefetch_fraction.clamp(0.0, 1.0);
+        let extra_scale = (1.0 - pf_frac) + pf_frac * cfg.prefetchers.traffic_weight();
+        c.mem_extra_lines = spec.extra_mem_lines_per_ki * extra_scale * ins / 1000.0;
+
+        // ------------------------------------------------------------------
+        // 6. CPI fixed point (memory latency <-> bandwidth).
+        // ------------------------------------------------------------------
+        // Latencies in core cycles at frequency `freq`.
+        let l2_lat = plat.l2.latency_cycles as f64;
+        // LLC and memory live in the uncore clock domain: express their
+        // nominal latencies in ns at nominal uncore, then convert.
+        let uncore_nominal = plat.uncore_freq_range_ghz.1;
+        let llc_ns = plat.llc.latency_cycles as f64 / uncore_nominal
+            * (uncore_nominal / cfg.uncore_freq_ghz);
+        let llc_lat = llc_ns * freq;
+        let walk_cycles = plat.page_walk_cycles as f64;
+
+        let mispredicts = c.branch_mispredicts as f64;
+        let base = ins * base_cpi(&spec.mix) * spec.base_cpi_scale;
+        let fp_extra = if spec.mix.fp >= plat.avx_fp_threshold {
+            c.fp_ops as f64 * FP_PRESSURE_CPI
+        } else {
+            0.0
+        };
+
+        let l1i_to_l2 = (c.l1i_misses - c.l2_code_misses.min(c.l1i_misses)) as f64;
+        let l2c_to_llc = (c.l2_code_misses - c.llc_code_misses.min(c.l2_code_misses)) as f64;
+        let llcc_to_mem = c.llc_code_misses as f64;
+        let itlb_stlb_hits = (c.itlb_misses - c.itlb_walks) as f64;
+        let dtlb_stlb_hits = (c.dtlb_misses - c.dtlb_walks) as f64;
+
+        let l1d_to_l2 = (l1d_eff - l2d_eff).max(0.0);
+        let l2d_to_llc = (l2d_eff - llcd_eff).max(0.0);
+
+        let mut mem_lat_ns = memory.unloaded_latency_ns();
+        let mut report = None;
+        let max_iter = 400;
+        for iter in 0..max_iter {
+            let mem_lat = mem_lat_ns * freq; // cycles
+
+            let frontend = spec.frontend_exposure
+                * (l1i_to_l2 * l2_lat * FE_L2_CHARGE
+                    + l2c_to_llc * llc_lat * FE_LLC_CHARGE
+                    + llcc_to_mem * mem_lat * FE_MEM_CHARGE
+                    + itlb_stlb_hits * STLB_HIT_CYCLES
+                    + c.itlb_walks as f64 * walk_cycles * ITLB_WALK_CHARGE);
+            let bad_spec = mispredicts * plat.mispredict_penalty_cycles as f64;
+            let backend = (l1d_to_l2 * l2_lat
+                + l2d_to_llc * llc_lat
+                + llcd_exposed * mem_lat
+                + (llcd_eff - llcd_exposed) * llc_lat)
+                / spec.mlp
+                + dtlb_stlb_hits * STLB_HIT_CYCLES
+                + c.dtlb_walks as f64 * walk_cycles * DTLB_WALK_CHARGE
+                + fp_extra;
+
+            // Context switch direct cost: midpoint of the bound range.
+            let time_guess_s = (base + frontend + bad_spec + backend).max(1.0) / (freq * 1e9);
+            let switches = cs_rate * time_guess_s;
+            let cs_us =
+                0.5 * (spec.context_switch.direct_cost_us_low + spec.context_switch.direct_cost_us_high);
+            let cs_cycles = switches * cs_us * 1e-6 * freq * 1e9;
+
+            let parts = CpiParts {
+                base,
+                frontend,
+                bad_speculation: bad_spec,
+                backend_memory: backend,
+                context_switch: cs_cycles,
+            };
+            let cycles = parts.total();
+            let ipc_thread = ins / cycles;
+            let width = plat.issue_width as f64;
+            let ipc_core = (ipc_thread * (1.0 + spec.smt_gain)).min(width);
+            let mips_core = ipc_core * freq * 1e3; // MIPS (million insn/s)
+            let mips_total = mips_core * n * load;
+
+            let lines_per_insn = c.mem_total_lines() / ins;
+            let bytes_per_sec = lines_per_insn * CACHE_LINE_BYTES as f64 * mips_total * 1e6;
+            let offered_gbps = bytes_per_sec / 1e9;
+            // A co-runner's traffic loads the same memory queue.
+            let offered_total = offered_gbps + background_bw_gbps.max(0.0);
+            let bw = memory.deliverable_bandwidth_gbps(offered_gbps);
+            let new_lat = memory.loaded_latency_ns(offered_total, spec.burstiness);
+
+            let converged = (new_lat - mem_lat_ns).abs() < 1e-3 * new_lat.max(1.0);
+            if converged || iter == max_iter - 1 {
+                let utilization = memory.utilization(bw + background_bw_gbps.max(0.0));
+                let mut final_c = c;
+                final_c.cycles = cycles;
+                final_c.context_switches = switches;
+                let tmam = TmamBreakdown::from_cycles(
+                    ins,
+                    cycles,
+                    frontend,
+                    bad_spec,
+                    width,
+                );
+                report = Some(WindowReport {
+                    counters: final_c,
+                    ipc_thread,
+                    ipc_core,
+                    mips_per_core: mips_core,
+                    mips_total,
+                    bandwidth_gbps: bw,
+                    mem_latency_ns: new_lat,
+                    mem_utilization: utilization,
+                    bandwidth_bound: utilization > 0.90,
+                    cpi: parts,
+                    tmam,
+                    effective_core_freq_ghz: freq,
+                    context_switch_fraction: cs_cycles / cycles,
+                });
+                break;
+            }
+            // Heavily damped update: the loaded-latency curve is steep near
+            // saturation and an undamped (or lightly damped) iteration
+            // oscillates between a high-latency/low-throughput state and its
+            // mirror image.
+            mem_lat_ns = 0.85 * mem_lat_ns + 0.15 * new_lat;
+        }
+        report.ok_or(ArchSimError::FixedPointDiverged {
+            iterations: max_iter,
+        })
+    }
+}
+
+/// Base (no-stall) CPI from the instruction mix: per-class issue costs on a
+/// 4-wide machine with typical port pressure.
+fn base_cpi(mix: &crate::stream::InstructionMix) -> f64 {
+    0.25 * mix.arith + 0.28 * mix.branch + 0.40 * mix.fp + 0.30 * mix.load + 0.30 * mix.store
+}
+
+fn rand_for(seed: u64) -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    rand::rngs::SmallRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::ReuseDistanceDist;
+    use crate::stream::{
+        BranchProfile, ContextSwitchProfile, InstructionMix, PageProfile, PrefetchAffinity,
+    };
+
+    fn test_spec() -> StreamSpec {
+        let line = ReuseDistanceDist::from_survival_points(
+            &[(400, 0.12), (12_000, 0.03), (300_000, 0.008)],
+            0.002,
+            2_000_000,
+        )
+        .unwrap();
+        let code = ReuseDistanceDist::from_survival_points(
+            &[(400, 0.06), (12_000, 0.01)],
+            0.0005,
+            200_000,
+        )
+        .unwrap();
+        let page = ReuseDistanceDist::single_knee(48, 0.02, 0.002, 60_000).unwrap();
+        StreamSpec {
+            name: "engine-test".to_string(),
+            mix: InstructionMix::new(0.20, 0.02, 0.29, 0.34, 0.15).unwrap(),
+            code_reuse: code,
+            data_reuse: line,
+            code_page_reuse: page.clone(),
+            data_page_reuse: page,
+            branch: BranchProfile {
+                taken_rate: 0.6,
+                base_mispredict: 0.02,
+                branch_working_set: 2000,
+            },
+            prefetch: PrefetchAffinity::modest(),
+            pages: PageProfile {
+                data_compaction: 32.0,
+                code_compaction: 128.0,
+                madvise_fraction: 0.25,
+                uses_shp: true,
+                shp_target_bytes: 300 * (2 << 20),
+            },
+            context_switch: ContextSwitchProfile::quiet(),
+            mlp: 3.5,
+            smt_gain: 0.25,
+            base_cpi_scale: 1.0,
+            writeback_factor: 0.4,
+            burstiness: 1.0,
+            llc_contention: 0.3,
+            natural_code_llc_share: 0.35,
+            extra_mem_lines_per_ki: 0.0,
+            extra_traffic_prefetch_fraction: 0.3,
+            frontend_exposure: 0.6,
+        }
+    }
+
+    fn engine_with(cfg: ServerConfig) -> Engine {
+        Engine::new(cfg, test_spec(), 7).unwrap()
+    }
+
+    const WINDOW: u64 = 150_000;
+
+    #[test]
+    fn stock_config_runs_and_is_sane() {
+        let e = engine_with(ServerConfig::stock(PlatformSpec::skylake18()));
+        let r = e.run_window(WINDOW, 1.0).unwrap();
+        assert!(r.ipc_thread > 0.1 && r.ipc_thread < 4.0, "ipc {}", r.ipc_thread);
+        assert!(r.ipc_core >= r.ipc_thread);
+        assert!(r.mips_total > 0.0);
+        assert!(r.mem_latency_ns >= 85.0);
+        let t = r.tmam;
+        let sum = t.retiring + t.frontend + t.bad_speculation + t.backend;
+        assert!((sum - 1.0).abs() < 1e-9, "TMAM must sum to 1, got {sum}");
+        assert!(t.retiring > 0.0 && t.retiring < 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let e = engine_with(ServerConfig::stock(PlatformSpec::skylake18()));
+        let a = e.run_window(WINDOW, 1.0).unwrap();
+        let b = e.run_window(WINDOW, 1.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn higher_core_frequency_means_more_mips() {
+        let mut cfg = ServerConfig::stock(PlatformSpec::skylake18());
+        cfg.core_freq_ghz = 2.2;
+        let fast = engine_with(cfg.clone()).run_window(WINDOW, 1.0).unwrap();
+        cfg.core_freq_ghz = 1.6;
+        let slow = engine_with(cfg).run_window(WINDOW, 1.0).unwrap();
+        assert!(fast.mips_total > slow.mips_total * 1.05);
+        // Sub-linear: memory latency in cycles grows with frequency.
+        let ratio = fast.mips_total / slow.mips_total;
+        assert!(ratio < 2.2 / 1.6, "scaling must be sub-linear, got {ratio}");
+    }
+
+    #[test]
+    fn lower_uncore_frequency_hurts() {
+        let mut cfg = ServerConfig::stock(PlatformSpec::skylake18());
+        cfg.uncore_freq_ghz = 1.8;
+        let fast = engine_with(cfg.clone()).run_window(WINDOW, 1.0).unwrap();
+        cfg.uncore_freq_ghz = 1.4;
+        let slow = engine_with(cfg).run_window(WINDOW, 1.0).unwrap();
+        assert!(fast.mips_total > slow.mips_total);
+    }
+
+    #[test]
+    fn fewer_llc_ways_more_misses() {
+        let mut cfg = ServerConfig::stock(PlatformSpec::skylake18());
+        cfg.llc_ways_enabled = 11;
+        let full = engine_with(cfg.clone()).run_window(WINDOW, 1.0).unwrap();
+        cfg.llc_ways_enabled = 2;
+        let tiny = engine_with(cfg).run_window(WINDOW, 1.0).unwrap();
+        assert!(
+            tiny.counters.llc_data_mpki() > full.counters.llc_data_mpki(),
+            "2 ways {} vs 11 ways {}",
+            tiny.counters.llc_data_mpki(),
+            full.counters.llc_data_mpki()
+        );
+    }
+
+    #[test]
+    fn invalid_configs_rejected_at_construction() {
+        let mut cfg = ServerConfig::stock(PlatformSpec::skylake18());
+        cfg.core_freq_ghz = 3.0;
+        assert!(Engine::new(cfg, test_spec(), 0).is_err());
+
+        let mut cfg = ServerConfig::stock(PlatformSpec::skylake18());
+        cfg.cdp = Some(CdpPartition { data_ways: 6, code_ways: 6 });
+        assert!(Engine::new(cfg, test_spec(), 0).is_err());
+
+        let mut cfg = ServerConfig::stock(PlatformSpec::skylake18());
+        cfg.active_cores = 0;
+        assert!(Engine::new(cfg, test_spec(), 0).is_err());
+    }
+
+    #[test]
+    fn avx_tax_applies_to_fp_heavy_mix() {
+        let cfg = ServerConfig::stock(PlatformSpec::skylake18());
+        assert_eq!(cfg.effective_core_freq_ghz(0.05), 2.2);
+        assert_eq!(cfg.effective_core_freq_ghz(0.30), 2.0);
+    }
+
+    #[test]
+    fn prefetchers_help_when_bandwidth_is_free() {
+        let mut cfg = ServerConfig::stock(PlatformSpec::skylake18());
+        cfg.prefetchers = PrefetcherConfig::all_on();
+        let on = engine_with(cfg.clone()).run_window(WINDOW, 1.0).unwrap();
+        cfg.prefetchers = PrefetcherConfig::all_off();
+        let off = engine_with(cfg).run_window(WINDOW, 1.0).unwrap();
+        assert!(
+            on.mips_total > off.mips_total,
+            "prefetch on {} vs off {}",
+            on.mips_total,
+            off.mips_total
+        );
+        assert!(on.bandwidth_gbps > off.bandwidth_gbps, "prefetch adds traffic");
+    }
+
+    #[test]
+    fn context_switch_fraction_scales_with_rate() {
+        let mut spec = test_spec();
+        spec.context_switch.rate_per_sec = 150_000.0;
+        spec.context_switch.pollution_fraction = 0.3;
+        let busy = Engine::new(ServerConfig::stock(PlatformSpec::skylake18()), spec, 7)
+            .unwrap()
+            .run_window(WINDOW, 1.0)
+            .unwrap();
+        let quiet = engine_with(ServerConfig::stock(PlatformSpec::skylake18()))
+            .run_window(WINDOW, 1.0)
+            .unwrap();
+        assert!(busy.context_switch_fraction > 10.0 * quiet.context_switch_fraction);
+        assert!(busy.context_switch_fraction > 0.02 && busy.context_switch_fraction < 0.5);
+    }
+
+    #[test]
+    fn load_fraction_scales_bandwidth_not_ipc_much() {
+        let e = engine_with(ServerConfig::stock(PlatformSpec::skylake18()));
+        let full = e.run_window(WINDOW, 1.0).unwrap();
+        let half = e.run_window(WINDOW, 0.5).unwrap();
+        assert!(half.mips_total < full.mips_total);
+        assert!(half.bandwidth_gbps < full.bandwidth_gbps);
+    }
+
+    #[test]
+    fn thp_always_reduces_dtlb_misses() {
+        let mut cfg = ServerConfig::stock(PlatformSpec::skylake18());
+        cfg.thp = ThpMode::AlwaysOn;
+        let always = engine_with(cfg.clone()).run_window(WINDOW, 1.0).unwrap();
+        cfg.thp = ThpMode::NeverOn;
+        let never = engine_with(cfg).run_window(WINDOW, 1.0).unwrap();
+        assert!(
+            always.counters.dtlb_misses < never.counters.dtlb_misses,
+            "always {} vs never {}",
+            always.counters.dtlb_misses,
+            never.counters.dtlb_misses
+        );
+    }
+}

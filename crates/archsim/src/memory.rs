@@ -1,0 +1,182 @@
+//! Memory bandwidth/latency model.
+//!
+//! Paper Fig. 12 characterizes each platform with a stress test: loaded
+//! latency sits on a horizontal asymptote at the unloaded latency and grows
+//! exponentially as bandwidth approaches saturation. The model uses the
+//! standard single-queue loaded-latency form
+//!
+//! ```text
+//! latency(ρ) = unloaded + q · ρ / (1 − ρ),   ρ = bw / peak
+//! ```
+//!
+//! with `q` the queueing scale. Uncore frequency scales both the unloaded
+//! latency (cache/controller portion) and the achievable peak bandwidth,
+//! which is what makes the uncore-frequency knob (Fig. 14b) matter more for
+//! memory-latency-sensitive services. Bursty services (Ads1/Ads2) see an
+//! *effective* utilization above their average bandwidth, placing their
+//! operating points above the smooth curve exactly as in Fig. 12.
+
+use crate::platform::PlatformSpec;
+
+/// Loaded-latency model for one platform at one uncore frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    unloaded_ns: f64,
+    peak_gbps: f64,
+    queue_scale_ns: f64,
+}
+
+impl MemoryModel {
+    /// Fraction of the unloaded latency attributable to the uncore domain
+    /// (LLC slice traversal + memory controller), which scales with uncore
+    /// frequency; the DRAM array portion does not.
+    const UNCORE_LATENCY_SHARE: f64 = 0.45;
+
+    /// Queueing scale as a fraction of unloaded latency.
+    const QUEUE_SHARE: f64 = 0.35;
+
+    /// Exponent of peak-bandwidth sensitivity to uncore frequency (the
+    /// controller must keep up, but channels impose the hard ceiling).
+    const BW_UNCORE_EXPONENT: f64 = 0.5;
+
+    /// Builds the model for `spec` at `uncore_ghz`.
+    ///
+    /// Assumes the frequency was already validated against the platform
+    /// range (the engine validates the whole config up front).
+    pub fn new(spec: &PlatformSpec, uncore_ghz: f64) -> Self {
+        let (_, nominal) = spec.uncore_freq_range_ghz;
+        let ratio = uncore_ghz / nominal;
+        let uncore_part = spec.mem_unloaded_latency_ns * Self::UNCORE_LATENCY_SHARE;
+        let dram_part = spec.mem_unloaded_latency_ns - uncore_part;
+        let unloaded_ns = dram_part + uncore_part / ratio;
+        let peak_gbps = spec.mem_peak_bw_gbps * ratio.powf(Self::BW_UNCORE_EXPONENT);
+        MemoryModel {
+            unloaded_ns,
+            peak_gbps,
+            queue_scale_ns: unloaded_ns * Self::QUEUE_SHARE,
+        }
+    }
+
+    /// Unloaded (idle) latency in nanoseconds.
+    pub fn unloaded_latency_ns(&self) -> f64 {
+        self.unloaded_ns
+    }
+
+    /// Saturation bandwidth in GB/s.
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.peak_gbps
+    }
+
+    /// Loaded latency at `bw_gbps` average bandwidth with traffic
+    /// burstiness factor `burstiness` (≥ 1).
+    ///
+    /// Utilization is clamped at 0.995 — beyond that the platform simply
+    /// cannot deliver the offered load and the engine's fixed point will
+    /// settle at the bandwidth ceiling instead.
+    pub fn loaded_latency_ns(&self, bw_gbps: f64, burstiness: f64) -> f64 {
+        let rho = (bw_gbps.max(0.0) * burstiness.max(1.0) / self.peak_gbps).min(0.995);
+        self.unloaded_ns + self.queue_scale_ns * rho / (1.0 - rho)
+    }
+
+    /// Utilization fraction for an offered average bandwidth.
+    pub fn utilization(&self, bw_gbps: f64) -> f64 {
+        (bw_gbps / self.peak_gbps).max(0.0)
+    }
+
+    /// The bandwidth the platform can actually deliver for an offered load
+    /// (ceilinged at 98 % of peak).
+    pub fn deliverable_bandwidth_gbps(&self, offered_gbps: f64) -> f64 {
+        offered_gbps.min(0.98 * self.peak_gbps)
+    }
+
+    /// Generates the characteristic stress-test curve: `(bw, latency)` pairs
+    /// from idle to saturation, as plotted in Fig. 12.
+    pub fn stress_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        (0..points)
+            .map(|i| {
+                let bw = self.peak_gbps * 0.98 * i as f64 / (points.max(2) - 1) as f64;
+                (bw, self.loaded_latency_ns(bw, 1.0))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformSpec;
+
+    fn nominal(spec: &PlatformSpec) -> MemoryModel {
+        MemoryModel::new(spec, spec.uncore_freq_range_ghz.1)
+    }
+
+    #[test]
+    fn nominal_matches_spec() {
+        let spec = PlatformSpec::skylake18();
+        let m = nominal(&spec);
+        assert!((m.unloaded_latency_ns() - spec.mem_unloaded_latency_ns).abs() < 1e-9);
+        assert!((m.peak_bandwidth_gbps() - spec.mem_peak_bw_gbps).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_grows_convexly_with_load() {
+        let m = nominal(&PlatformSpec::skylake18());
+        let l0 = m.loaded_latency_ns(0.0, 1.0);
+        let l50 = m.loaded_latency_ns(m.peak_bandwidth_gbps() * 0.5, 1.0);
+        let l90 = m.loaded_latency_ns(m.peak_bandwidth_gbps() * 0.9, 1.0);
+        assert!(l0 < l50 && l50 < l90);
+        // Convexity: the second half must grow much faster.
+        assert!((l90 - l50) > 3.0 * (l50 - l0));
+        // Near-saturation latency is several times unloaded (Fig. 12 shape).
+        assert!(l90 > 2.0 * l0);
+    }
+
+    #[test]
+    fn lower_uncore_frequency_raises_latency_and_cuts_peak() {
+        let spec = PlatformSpec::skylake18();
+        let fast = MemoryModel::new(&spec, 1.8);
+        let slow = MemoryModel::new(&spec, 1.4);
+        assert!(slow.unloaded_latency_ns() > fast.unloaded_latency_ns());
+        assert!(slow.peak_bandwidth_gbps() < fast.peak_bandwidth_gbps());
+        // The penalty is bounded: only the uncore share scales.
+        assert!(slow.unloaded_latency_ns() < fast.unloaded_latency_ns() * 1.25);
+    }
+
+    #[test]
+    fn burstiness_moves_point_above_curve() {
+        let m = nominal(&PlatformSpec::skylake20());
+        let bw = m.peak_bandwidth_gbps() * 0.5;
+        let smooth = m.loaded_latency_ns(bw, 1.0);
+        let bursty = m.loaded_latency_ns(bw, 1.5);
+        assert!(bursty > smooth * 1.1, "bursty {bursty} vs smooth {smooth}");
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        let m = nominal(&PlatformSpec::broadwell16());
+        let lat = m.loaded_latency_ns(10.0 * m.peak_bandwidth_gbps(), 1.0);
+        assert!(lat.is_finite());
+        assert!(m.deliverable_bandwidth_gbps(1e9) <= m.peak_bandwidth_gbps());
+    }
+
+    #[test]
+    fn stress_curve_is_monotone() {
+        let m = nominal(&PlatformSpec::skylake18());
+        let curve = m.stress_curve(32);
+        assert_eq!(curve.len(), 32);
+        for w in curve.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn skylake20_outclasses_skylake18_bandwidth() {
+        let s18 = nominal(&PlatformSpec::skylake18());
+        let s20 = nominal(&PlatformSpec::skylake20());
+        // The paper runs Cache1/Ads2 on Skylake20 "to keep memory latency
+        // low": at equal absolute bandwidth, Skylake20 must be less loaded.
+        let bw = 80.0;
+        assert!(s20.loaded_latency_ns(bw, 1.0) < s18.loaded_latency_ns(bw, 1.0) + 20.0);
+    }
+}

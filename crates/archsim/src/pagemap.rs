@@ -1,0 +1,232 @@
+//! Huge-page policy resolution: THP modes and statically-allocated huge
+//! pages (SHPs).
+//!
+//! The paper's last two knobs (Sec. 5):
+//!
+//! * **THP** — the kernel transparently backs anonymous memory with 2 MiB
+//!   pages. Three modes: `madvise` (production default — only regions that
+//!   asked), `always`, `never`.
+//! * **SHP** — hugetlbfs pages reserved at boot, explicitly requested via an
+//!   API; at Facebook, Web maps its JIT code cache this way. Once reserved,
+//!   SHP memory "can not be repurposed", so over-reservation costs the rest
+//!   of the system memory (the interior sweet spot of Fig. 18b).
+//!
+//! [`PagePolicy::resolve`] turns (THP mode, SHP count, workload page traits,
+//! platform THP success rate) into the effective huge-page coverage fractions
+//! the TLB simulation uses, plus the memory-pressure penalty of any
+//! over-reservation.
+
+use crate::stream::PageProfile;
+
+/// Bytes in a 2 MiB huge page.
+pub const HUGE_PAGE_BYTES: u64 = 2 << 20;
+
+/// Transparent Huge Page kernel modes (paper Sec. 5, knob 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum ThpMode {
+    /// Huge pages only for regions that requested them — production default.
+    #[default]
+    Madvise,
+    /// Huge pages for every eligible region.
+    AlwaysOn,
+    /// No transparent huge pages even when requested.
+    NeverOn,
+}
+
+impl ThpMode {
+    /// The three modes in sweep order.
+    pub const ALL: [ThpMode; 3] = [ThpMode::Madvise, ThpMode::AlwaysOn, ThpMode::NeverOn];
+}
+
+impl std::fmt::Display for ThpMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ThpMode::Madvise => "madvise",
+            ThpMode::AlwaysOn => "always",
+            ThpMode::NeverOn => "never",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Platform-dependent THP behaviour.
+///
+/// Older kernels/fleets suffer allocation failures and fragmentation that
+/// prevent `always`-mode THP from actually materializing huge pages — the
+/// reproduction's model for why Web-on-Broadwell saw no THP win (Fig. 18a).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThpPlatformTraits {
+    /// Probability that a non-madvise region gets huge-page backing in
+    /// `always` mode.
+    pub background_success: f64,
+    /// Probability that a madvise'd region gets huge-page backing.
+    pub madvise_success: f64,
+}
+
+impl ThpPlatformTraits {
+    /// A modern kernel with healthy compaction (Skylake fleet). Even here,
+    /// always-on THP only materializes huge pages for part of the
+    /// non-madvise heap — compaction races allocation under production
+    /// churn.
+    pub fn healthy() -> Self {
+        ThpPlatformTraits {
+            background_success: 0.45,
+            madvise_success: 0.95,
+        }
+    }
+
+    /// An older, fragmented fleet (Broadwell).
+    pub fn fragmented() -> Self {
+        ThpPlatformTraits {
+            background_success: 0.15,
+            madvise_success: 0.85,
+        }
+    }
+}
+
+/// Resolved page policy: what fraction of accesses see huge pages, and what
+/// the SHP reservation costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PagePolicy {
+    /// Fraction of data accesses backed by 2 MiB pages.
+    pub huge_data_fraction: f64,
+    /// Fraction of code accesses backed by 2 MiB pages.
+    pub huge_code_fraction: f64,
+    /// Relative increase in effective data-miss traffic caused by memory
+    /// reserved-but-unused by the SHP pool (0 = no over-reservation).
+    pub shp_pressure_penalty: f64,
+    /// SHP pages actually consumed by the workload.
+    pub shp_pages_used: u32,
+}
+
+impl PagePolicy {
+    /// Resolves the policy for a workload with page traits `pages` under the
+    /// given THP mode, SHP reservation, platform THP traits, and machine
+    /// memory size.
+    ///
+    /// SHP pages back *code* (the Web JIT cache use case). Reserved pages
+    /// beyond `pages.shp_target_bytes` are pure memory pressure. Workloads
+    /// with `uses_shp == false` ignore the reservation entirely but still pay
+    /// the pressure penalty (the memory is gone either way).
+    pub fn resolve(
+        pages: &PageProfile,
+        thp: ThpMode,
+        shp_pages: u32,
+        thp_traits: ThpPlatformTraits,
+        machine_memory_bytes: u64,
+    ) -> Self {
+        let huge_data_fraction = match thp {
+            ThpMode::Madvise => pages.madvise_fraction * thp_traits.madvise_success,
+            ThpMode::AlwaysOn => {
+                pages.madvise_fraction * thp_traits.madvise_success
+                    + (1.0 - pages.madvise_fraction) * thp_traits.background_success
+            }
+            ThpMode::NeverOn => 0.0,
+        };
+
+        // Code: SHP drives it when the service uses the API; THP-always can
+        // also promote code-adjacent regions a little (file-backed text is
+        // not THP-eligible, so the effect is small).
+        let thp_code = match thp {
+            ThpMode::AlwaysOn => 0.10 * thp_traits.background_success,
+            _ => 0.0,
+        };
+        // Not all code is SHP-eligible: file-backed text and short-lived JIT
+        // regions stay on 4 KiB pages no matter how large the pool is.
+        const SHP_COVERAGE_CAP: f64 = 0.75;
+        let (shp_code, used, excess_bytes) = if pages.uses_shp && shp_pages > 0 {
+            let reserved = shp_pages as u64 * HUGE_PAGE_BYTES;
+            let needed = pages.shp_target_bytes;
+            let used_bytes = reserved.min(needed);
+            let coverage = used_bytes as f64 / needed.max(1) as f64 * SHP_COVERAGE_CAP;
+            let used_pages = (used_bytes / HUGE_PAGE_BYTES) as u32;
+            (coverage, used_pages, reserved.saturating_sub(needed))
+        } else {
+            // The reservation still removes memory from the system.
+            let reserved = shp_pages as u64 * HUGE_PAGE_BYTES;
+            (0.0, 0, reserved)
+        };
+        let huge_code_fraction = (thp_code + shp_code).min(1.0);
+
+        // Over-reserved memory shrinks the page cache / slab headroom; model
+        // as a proportional bump in data-miss traffic.
+        let shp_pressure_penalty = excess_bytes as f64 / machine_memory_bytes.max(1) as f64;
+
+        PagePolicy {
+            huge_data_fraction: huge_data_fraction.clamp(0.0, 1.0),
+            huge_code_fraction,
+            shp_pressure_penalty,
+            shp_pages_used: used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn web_pages() -> PageProfile {
+        PageProfile {
+            data_compaction: 12.0,
+            code_compaction: 128.0,
+            madvise_fraction: 0.25,
+            uses_shp: true,
+            shp_target_bytes: 300 * HUGE_PAGE_BYTES,
+        }
+    }
+
+    const MEM: u64 = 64 << 30;
+
+    #[test]
+    fn thp_modes_order_data_coverage() {
+        let p = web_pages();
+        let t = ThpPlatformTraits::healthy();
+        let never = PagePolicy::resolve(&p, ThpMode::NeverOn, 0, t, MEM);
+        let madv = PagePolicy::resolve(&p, ThpMode::Madvise, 0, t, MEM);
+        let always = PagePolicy::resolve(&p, ThpMode::AlwaysOn, 0, t, MEM);
+        assert_eq!(never.huge_data_fraction, 0.0);
+        assert!(madv.huge_data_fraction > 0.0);
+        assert!(always.huge_data_fraction > madv.huge_data_fraction);
+    }
+
+    #[test]
+    fn fragmented_platform_mutes_always_mode() {
+        let p = web_pages();
+        let healthy = PagePolicy::resolve(&p, ThpMode::AlwaysOn, 0, ThpPlatformTraits::healthy(), MEM);
+        let frag = PagePolicy::resolve(&p, ThpMode::AlwaysOn, 0, ThpPlatformTraits::fragmented(), MEM);
+        assert!(frag.huge_data_fraction < 0.65 * healthy.huge_data_fraction);
+    }
+
+    #[test]
+    fn shp_coverage_saturates_at_target() {
+        let p = web_pages();
+        let t = ThpPlatformTraits::healthy();
+        let half = PagePolicy::resolve(&p, ThpMode::Madvise, 150, t, MEM);
+        let full = PagePolicy::resolve(&p, ThpMode::Madvise, 300, t, MEM);
+        let over = PagePolicy::resolve(&p, ThpMode::Madvise, 600, t, MEM);
+        assert!((half.huge_code_fraction - 0.375).abs() < 1e-9);
+        assert!((full.huge_code_fraction - 0.75).abs() < 1e-9);
+        assert!((over.huge_code_fraction - 0.75).abs() < 1e-9);
+        assert_eq!(full.shp_pressure_penalty, 0.0);
+        assert!(over.shp_pressure_penalty > 0.0, "over-reservation must cost");
+        assert_eq!(over.shp_pages_used, 300);
+    }
+
+    #[test]
+    fn non_shp_service_ignores_reservation_but_pays() {
+        let mut p = web_pages();
+        p.uses_shp = false; // Ads1-like
+        let t = ThpPlatformTraits::healthy();
+        let policy = PagePolicy::resolve(&p, ThpMode::Madvise, 400, t, MEM);
+        assert_eq!(policy.huge_code_fraction, 0.0);
+        assert_eq!(policy.shp_pages_used, 0);
+        assert!(policy.shp_pressure_penalty > 0.0);
+    }
+
+    #[test]
+    fn thp_mode_display_and_all() {
+        let names: Vec<String> = ThpMode::ALL.iter().map(|m| m.to_string()).collect();
+        assert_eq!(names, vec!["madvise", "always", "never"]);
+        assert_eq!(ThpMode::default(), ThpMode::Madvise);
+    }
+}

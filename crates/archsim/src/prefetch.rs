@@ -1,0 +1,304 @@
+//! Hardware prefetcher configuration and its statistical effect model.
+//!
+//! The paper's servers expose four prefetchers via MSRs (Sec. 5, knob 5):
+//!
+//! 1. **L2 hardware (stream) prefetcher** — fetches lines into L2/LLC.
+//! 2. **L2 adjacent-cache-line prefetcher** — fetches the buddy line of a
+//!    128-byte-aligned pair.
+//! 3. **DCU prefetcher** — next-line into L1-D.
+//! 4. **DCU IP prefetcher** — per-instruction-pointer stride into L1-D.
+//!
+//! µSKU sweeps five configurations. The mechanics that matter for the
+//! experiments are (a) covered misses hit at a nearer level, and (b) every
+//! covered miss costs `1/accuracy` lines of memory traffic, so prefetching
+//! *trades bandwidth for latency* — a win on Skylake, a loss on the
+//! bandwidth-saturated Web/Broadwell combination (Fig. 17).
+//!
+//! Rather than pattern-matching on a synthetic address stream (whose
+//! "strides" would be artifacts of the reuse-distance generator), the model
+//! applies each prefetcher's coverage to the fraction of misses the workload
+//! declares prefetchable ([`PrefetchAffinity`]) — a documented substitution
+//! that preserves the bandwidth/latency trade-off exactly where the knob
+//! experiments need it.
+
+use crate::stream::PrefetchAffinity;
+
+/// On/off state of the four hardware prefetchers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PrefetcherConfig {
+    /// L2 hardware (stream) prefetcher.
+    pub l2_stream: bool,
+    /// L2 adjacent-cache-line prefetcher.
+    pub l2_adjacent: bool,
+    /// DCU next-line prefetcher (L1-D).
+    pub dcu: bool,
+    /// DCU IP-stride prefetcher (L1-D).
+    pub dcu_ip: bool,
+}
+
+impl PrefetcherConfig {
+    /// All four prefetchers off.
+    pub fn all_off() -> Self {
+        PrefetcherConfig::default()
+    }
+
+    /// All four prefetchers on (stock default; production default for
+    /// Web-on-Skylake and Ads1).
+    pub fn all_on() -> Self {
+        PrefetcherConfig {
+            l2_stream: true,
+            l2_adjacent: true,
+            dcu: true,
+            dcu_ip: true,
+        }
+    }
+
+    /// Only the two DCU prefetchers (µSKU config c).
+    pub fn dcu_and_dcu_ip() -> Self {
+        PrefetcherConfig {
+            dcu: true,
+            dcu_ip: true,
+            ..Self::all_off()
+        }
+    }
+
+    /// Only the DCU next-line prefetcher (µSKU config d).
+    pub fn dcu_only() -> Self {
+        PrefetcherConfig {
+            dcu: true,
+            ..Self::all_off()
+        }
+    }
+
+    /// L2 hardware + DCU prefetchers (µSKU config e; production default for
+    /// Web-on-Broadwell).
+    pub fn l2_and_dcu() -> Self {
+        PrefetcherConfig {
+            l2_stream: true,
+            dcu: true,
+            ..Self::all_off()
+        }
+    }
+
+    /// The five configurations µSKU sweeps, in the paper's order.
+    pub fn sweep() -> [PrefetcherConfig; 5] {
+        [
+            Self::all_off(),
+            Self::all_on(),
+            Self::dcu_and_dcu_ip(),
+            Self::dcu_only(),
+            Self::l2_and_dcu(),
+        ]
+    }
+
+    /// Short human-readable label matching the paper's legend.
+    pub fn label(&self) -> &'static str {
+        match (self.l2_stream, self.l2_adjacent, self.dcu, self.dcu_ip) {
+            (false, false, false, false) => "all off",
+            (true, true, true, true) => "all on",
+            (false, false, true, true) => "DCU & DCU IP on",
+            (false, false, true, false) => "DCU on",
+            (true, false, true, false) => "L2 hardware & DCU on",
+            _ => "custom",
+        }
+    }
+}
+
+impl std::fmt::Display for PrefetcherConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl PrefetcherConfig {
+    /// Relative share of the platform's prefetch-generated DRAM traffic the
+    /// enabled engines account for (1.0 = all engines on). The stream
+    /// prefetcher dominates because it is the only unit that runs far ahead
+    /// into DRAM.
+    pub fn traffic_weight(&self) -> f64 {
+        let mut w = 0.0;
+        if self.l2_stream {
+            w += 0.55;
+        }
+        if self.l2_adjacent {
+            w += 0.15;
+        }
+        if self.dcu {
+            w += 0.15;
+        }
+        if self.dcu_ip {
+            w += 0.15;
+        }
+        w
+    }
+}
+
+/// The resolved effect of a prefetcher configuration on one workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchEffect {
+    /// Fraction of L1-D demand misses converted to L1 hits.
+    pub l1d_coverage: f64,
+    /// Fraction of L2 demand misses (data) converted to L2 hits.
+    pub l2_coverage: f64,
+    /// Fraction of LLC demand misses (data) whose memory latency is hidden
+    /// (prefetched early enough to hit in LLC).
+    pub llc_coverage: f64,
+    /// Extra memory traffic, expressed as a multiplier on covered-miss lines
+    /// (`issued/useful − 1` wasted plus the prefetched lines themselves are
+    /// charged at the memory interface when they would otherwise have been
+    /// demand-fetched; only the waste is *extra*).
+    pub traffic_overhead: f64,
+}
+
+impl PrefetchEffect {
+    /// No prefetching.
+    pub fn none() -> Self {
+        PrefetchEffect {
+            l1d_coverage: 0.0,
+            l2_coverage: 0.0,
+            llc_coverage: 0.0,
+            traffic_overhead: 0.0,
+        }
+    }
+
+    /// Resolves the effect of `config` on a workload with prefetchable-miss
+    /// fractions `affinity`.
+    ///
+    /// Per-prefetcher coverage factors (fraction of the *pattern* each engine
+    /// captures) follow the conventional characterization of these units:
+    /// the stream prefetcher is the strongest on sequential traffic, the
+    /// adjacent-line prefetcher adds a little, the DCU next-line unit covers
+    /// short sequential runs at L1, and the IP-stride unit covers per-PC
+    /// strides at L1.
+    pub fn resolve(config: PrefetcherConfig, affinity: &PrefetchAffinity) -> Self {
+        let seq = affinity.sequential;
+        let stride = affinity.ip_stride;
+
+        // L1-side coverage.
+        let mut l1 = 0.0;
+        if config.dcu {
+            l1 += 0.45 * seq;
+        }
+        if config.dcu_ip {
+            l1 += 0.60 * stride;
+        }
+        // L2-side coverage applies to misses *not* already covered at L1.
+        let mut l2 = 0.0;
+        if config.l2_stream {
+            l2 += 0.65 * seq;
+        }
+        if config.l2_adjacent {
+            l2 += 0.20 * seq;
+        }
+        // Memory-latency hiding: only the stream prefetcher runs far enough
+        // ahead.
+        let llc = if config.l2_stream { 0.50 * (seq + 0.5 * stride) } else { 0.0 };
+
+        // Waste: issued = covered / accuracy ⇒ wasted lines = covered *
+        // (1/acc − 1). The adjacent-line prefetcher is the least accurate;
+        // weight the waste by which engines are on.
+        let mut engines = 0.0;
+        let mut waste = 0.0;
+        let acc = affinity.accuracy.max(0.05);
+        for (on, engine_acc) in [
+            (config.l2_stream, acc),
+            (config.l2_adjacent, acc * 0.6),
+            (config.dcu, acc),
+            (config.dcu_ip, (acc * 1.2).min(0.95)),
+        ] {
+            if on {
+                engines += 1.0;
+                waste += 1.0 / engine_acc - 1.0;
+            }
+        }
+        let traffic_overhead = if engines > 0.0 { waste / engines } else { 0.0 };
+
+        PrefetchEffect {
+            l1d_coverage: l1.min(0.85),
+            l2_coverage: l2.min(0.85),
+            llc_coverage: llc.min(0.85),
+            traffic_overhead,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn affinity() -> PrefetchAffinity {
+        PrefetchAffinity {
+            sequential: 0.4,
+            ip_stride: 0.2,
+            accuracy: 0.5,
+        }
+    }
+
+    #[test]
+    fn sweep_has_five_distinct_configs() {
+        let sweep = PrefetcherConfig::sweep();
+        for i in 0..sweep.len() {
+            for j in (i + 1)..sweep.len() {
+                assert_ne!(sweep[i], sweep[j]);
+            }
+        }
+        assert_eq!(sweep[0].label(), "all off");
+        assert_eq!(sweep[1].label(), "all on");
+        assert_eq!(sweep[4].to_string(), "L2 hardware & DCU on");
+    }
+
+    #[test]
+    fn all_off_has_no_effect() {
+        let e = PrefetchEffect::resolve(PrefetcherConfig::all_off(), &affinity());
+        assert_eq!(e, PrefetchEffect::none());
+    }
+
+    #[test]
+    fn all_on_maximizes_coverage_and_waste() {
+        let aff = affinity();
+        let all = PrefetchEffect::resolve(PrefetcherConfig::all_on(), &aff);
+        for cfg in PrefetcherConfig::sweep() {
+            let e = PrefetchEffect::resolve(cfg, &aff);
+            assert!(e.l1d_coverage <= all.l1d_coverage + 1e-12);
+            assert!(e.l2_coverage <= all.l2_coverage + 1e-12);
+            assert!(e.llc_coverage <= all.llc_coverage + 1e-12);
+        }
+        assert!(all.traffic_overhead > 0.0);
+    }
+
+    #[test]
+    fn dcu_only_covers_l1_not_l2() {
+        let e = PrefetchEffect::resolve(PrefetcherConfig::dcu_only(), &affinity());
+        assert!(e.l1d_coverage > 0.0);
+        assert_eq!(e.l2_coverage, 0.0);
+        assert_eq!(e.llc_coverage, 0.0);
+    }
+
+    #[test]
+    fn stream_prefetcher_hides_memory_latency() {
+        let with = PrefetchEffect::resolve(PrefetcherConfig::l2_and_dcu(), &affinity());
+        let without = PrefetchEffect::resolve(PrefetcherConfig::dcu_only(), &affinity());
+        assert!(with.llc_coverage > 0.0);
+        assert_eq!(without.llc_coverage, 0.0);
+    }
+
+    #[test]
+    fn low_accuracy_means_more_waste() {
+        let mut sloppy = affinity();
+        sloppy.accuracy = 0.2;
+        let tight = PrefetchEffect::resolve(PrefetcherConfig::all_on(), &affinity());
+        let loose = PrefetchEffect::resolve(PrefetcherConfig::all_on(), &sloppy);
+        assert!(loose.traffic_overhead > tight.traffic_overhead);
+    }
+
+    #[test]
+    fn coverage_scales_with_pattern_fraction() {
+        let mut rand_heavy = affinity();
+        rand_heavy.sequential = 0.05;
+        rand_heavy.ip_stride = 0.02;
+        let weak = PrefetchEffect::resolve(PrefetcherConfig::all_on(), &rand_heavy);
+        let strong = PrefetchEffect::resolve(PrefetcherConfig::all_on(), &affinity());
+        assert!(weak.l1d_coverage < strong.l1d_coverage);
+        assert!(weak.llc_coverage < strong.llc_coverage);
+    }
+}

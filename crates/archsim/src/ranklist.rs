@@ -1,0 +1,387 @@
+//! An implicit treap: a sequence with O(log n) access/removal by rank.
+//!
+//! The trace generator maintains an LRU stack of every line a workload has
+//! touched; each synthetic access must *remove the element at rank d and
+//! push it to the front* (a move-to-front at a sampled reuse distance). With
+//! data footprints of millions of lines, a `Vec` would make that O(n) per
+//! access. An implicit treap (randomized balanced tree ordered by position)
+//! does it in expected O(log n).
+//!
+//! The structure is deliberately minimal: it stores `u64` payloads and
+//! supports exactly the operations the stack mapper needs.
+
+/// A sequence of `u64` values supporting rank-addressed operations in
+/// expected O(log n).
+///
+/// # Example
+///
+/// ```
+/// use softsku_archsim::ranklist::RankList;
+///
+/// let mut list = RankList::new(42);
+/// list.push_front(10);
+/// list.push_front(20);
+/// list.push_front(30); // sequence: [30, 20, 10]
+/// assert_eq!(list.len(), 3);
+/// assert_eq!(list.remove_at(1), Some(20));
+/// assert_eq!(list.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RankList {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    root: u32,
+    rng_state: u64,
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct Node {
+    value: u64,
+    priority: u64,
+    left: u32,
+    right: u32,
+    size: u32,
+}
+
+impl RankList {
+    /// Creates an empty list; `seed` drives the treap's internal priorities
+    /// (structure, not contents), keeping runs deterministic.
+    pub fn new(seed: u64) -> Self {
+        RankList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            // splitmix64 state; avoid the all-zero fixed point.
+            rng_state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Builds a list containing `values` (front to back) in O(n) by
+    /// constructing a balanced tree directly — used to pre-warm multi-million
+    /// entry LRU stacks without n log n insertion cost.
+    pub fn with_sequence<I>(seed: u64, values: I) -> Self
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut list = RankList::new(seed);
+        let vals: Vec<u64> = values.into_iter().collect();
+        if !vals.is_empty() {
+            list.nodes.reserve(vals.len());
+            list.root = list.build_balanced(&vals, 0);
+        }
+        list
+    }
+
+    /// Recursively builds a balanced subtree over `vals`, assigning
+    /// priorities that decrease with depth (preserving the treap heap
+    /// property) plus jitter so later random-priority inserts interleave.
+    fn build_balanced(&mut self, vals: &[u64], depth: u64) -> u32 {
+        if vals.is_empty() {
+            return NIL;
+        }
+        let mid = vals.len() / 2;
+        // Depth bands are 2^57 apart; jitter stays below 2^52.
+        let priority = u64::MAX - depth * (1 << 57) - (self.next_priority() >> 12);
+        let idx = self.nodes.len() as u32;
+        self.nodes.push(Node {
+            value: vals[mid],
+            priority,
+            left: NIL,
+            right: NIL,
+            size: 1,
+        });
+        let left = self.build_balanced(&vals[..mid], depth + 1);
+        let right = self.build_balanced(&vals[mid + 1..], depth + 1);
+        self.nodes[idx as usize].left = left;
+        self.nodes[idx as usize].right = right;
+        self.update(idx);
+        idx
+    }
+
+    /// Replaces the internal priority-stream seed; used when cloning a
+    /// shared pre-warmed template so that subsequent inserts differ across
+    /// instances.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng_state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.size(self.root) as usize
+    }
+
+    /// True when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    /// Inserts `value` at the front (rank 0).
+    pub fn push_front(&mut self, value: u64) {
+        let n = self.alloc(value);
+        self.root = self.merge(n, self.root);
+    }
+
+    /// Removes and returns the element at `rank`, or `None` if out of range.
+    pub fn remove_at(&mut self, rank: usize) -> Option<u64> {
+        if rank >= self.len() {
+            return None;
+        }
+        let (left, rest) = self.split(self.root, rank as u32);
+        let (mid, right) = self.split(rest, 1);
+        debug_assert_ne!(mid, NIL);
+        let value = self.nodes[mid as usize].value;
+        self.release(mid);
+        self.root = self.merge(left, right);
+        Some(value)
+    }
+
+    /// Removes and returns the last element (deepest LRU position).
+    pub fn pop_back(&mut self) -> Option<u64> {
+        let n = self.len();
+        if n == 0 {
+            None
+        } else {
+            self.remove_at(n - 1)
+        }
+    }
+
+    /// Reads the element at `rank` without removing it.
+    pub fn get(&self, rank: usize) -> Option<u64> {
+        if rank >= self.len() {
+            return None;
+        }
+        let mut cur = self.root;
+        let mut rank = rank as u32;
+        loop {
+            let node = &self.nodes[cur as usize];
+            let left_size = self.size(node.left);
+            if rank < left_size {
+                cur = node.left;
+            } else if rank == left_size {
+                return Some(node.value);
+            } else {
+                rank -= left_size + 1;
+                cur = node.right;
+            }
+        }
+    }
+
+    /// Collects the sequence front-to-back (O(n); for tests and debugging).
+    pub fn to_vec(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.len());
+        self.walk(self.root, &mut out);
+        out
+    }
+
+    fn walk(&self, node: u32, out: &mut Vec<u64>) {
+        // Iterative in-order traversal to avoid recursion depth limits.
+        let mut stack = Vec::new();
+        let mut cur = node;
+        while cur != NIL || !stack.is_empty() {
+            while cur != NIL {
+                stack.push(cur);
+                cur = self.nodes[cur as usize].left;
+            }
+            let n = stack.pop().expect("stack non-empty by loop condition");
+            out.push(self.nodes[n as usize].value);
+            cur = self.nodes[n as usize].right;
+        }
+    }
+
+    fn size(&self, node: u32) -> u32 {
+        if node == NIL {
+            0
+        } else {
+            self.nodes[node as usize].size
+        }
+    }
+
+    fn update(&mut self, node: u32) {
+        let left = self.nodes[node as usize].left;
+        let right = self.nodes[node as usize].right;
+        self.nodes[node as usize].size = 1 + self.size(left) + self.size(right);
+    }
+
+    fn alloc(&mut self, value: u64) -> u32 {
+        let priority = self.next_priority();
+        let node = Node {
+            value,
+            priority,
+            left: NIL,
+            right: NIL,
+            size: 1,
+        };
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, idx: u32) {
+        self.free.push(idx);
+    }
+
+    fn next_priority(&mut self) -> u64 {
+        // splitmix64.
+        self.rng_state = self.rng_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Merges two treaps where every rank of `a` precedes every rank of `b`.
+    ///
+    /// Recursive; a treap's depth is O(log n) with overwhelming probability,
+    /// so recursion is safe even for multi-million-line footprints.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].priority >= self.nodes[b as usize].priority {
+            let merged = self.merge(self.nodes[a as usize].right, b);
+            self.nodes[a as usize].right = merged;
+            self.update(a);
+            a
+        } else {
+            let merged = self.merge(a, self.nodes[b as usize].left);
+            self.nodes[b as usize].left = merged;
+            self.update(b);
+            b
+        }
+    }
+
+    /// Splits into (first `k` elements, rest).
+    fn split(&mut self, node: u32, k: u32) -> (u32, u32) {
+        if node == NIL {
+            return (NIL, NIL);
+        }
+        let left_size = self.size(self.nodes[node as usize].left);
+        if k <= left_size {
+            let (l, r) = self.split(self.nodes[node as usize].left, k);
+            self.nodes[node as usize].left = r;
+            self.update(node);
+            (l, node)
+        } else {
+            let (l, r) = self.split(self.nodes[node as usize].right, k - left_size - 1);
+            self.nodes[node as usize].right = l;
+            self.update(node);
+            (node, r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_order() {
+        let mut list = RankList::new(1);
+        for i in 0..10 {
+            list.push_front(i);
+        }
+        assert_eq!(list.to_vec(), (0..10).rev().collect::<Vec<u64>>());
+        assert_eq!(list.len(), 10);
+    }
+
+    #[test]
+    fn remove_at_matches_vec_model() {
+        let mut list = RankList::new(7);
+        let mut model: Vec<u64> = Vec::new();
+        // Deterministic pseudo-random operation sequence.
+        let mut state = 12345u64;
+        let mut next = |m: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % m.max(1)
+        };
+        for i in 0..2000u64 {
+            if model.is_empty() || next(3) != 0 {
+                list.push_front(i);
+                model.insert(0, i);
+            } else {
+                let rank = next(model.len() as u64) as usize;
+                assert_eq!(list.remove_at(rank), Some(model.remove(rank)));
+            }
+            if i % 257 == 0 {
+                assert_eq!(list.to_vec(), model);
+            }
+        }
+        assert_eq!(list.to_vec(), model);
+    }
+
+    #[test]
+    fn get_does_not_mutate() {
+        let mut list = RankList::new(3);
+        for i in 0..100 {
+            list.push_front(i);
+        }
+        let snapshot = list.to_vec();
+        for (rank, &expected) in snapshot.iter().enumerate() {
+            assert_eq!(list.get(rank), Some(expected));
+        }
+        assert_eq!(list.to_vec(), snapshot);
+        assert_eq!(list.get(100), None);
+    }
+
+    #[test]
+    fn pop_back_drains_in_reverse() {
+        let mut list = RankList::new(5);
+        for i in 0..50 {
+            list.push_front(i);
+        }
+        for i in 0..50 {
+            assert_eq!(list.pop_back(), Some(i));
+        }
+        assert_eq!(list.pop_back(), None);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_removal_is_none() {
+        let mut list = RankList::new(0);
+        assert_eq!(list.remove_at(0), None);
+        list.push_front(9);
+        assert_eq!(list.remove_at(1), None);
+        assert_eq!(list.remove_at(0), Some(9));
+    }
+
+    #[test]
+    fn node_reuse_keeps_len_consistent() {
+        let mut list = RankList::new(11);
+        for round in 0..20u64 {
+            for i in 0..100 {
+                list.push_front(round * 100 + i);
+            }
+            for _ in 0..100 {
+                list.pop_back();
+            }
+            assert_eq!(list.len(), 0);
+        }
+    }
+
+    #[test]
+    fn large_scale_move_to_front() {
+        // The exact access pattern the trace generator performs.
+        let mut list = RankList::new(99);
+        for i in 0..100_000u64 {
+            list.push_front(i);
+        }
+        let mut state = 1u64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let rank = ((state >> 33) as usize) % list.len();
+            let v = list.remove_at(rank).unwrap();
+            list.push_front(v);
+        }
+        assert_eq!(list.len(), 100_000);
+    }
+}

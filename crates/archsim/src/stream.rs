@@ -1,0 +1,380 @@
+//! Workload stream specifications.
+//!
+//! A [`StreamSpec`] is the contract between the workload models (the
+//! `softsku-workloads` crate) and the simulation engine: everything the
+//! engine needs to synthesize a representative instruction/access stream for
+//! one service. The fields map one-to-one onto the characterization axes of
+//! the paper's Sec. 2 — instruction mix (Fig. 5), code/data locality
+//! (Figs. 8–10), page locality (Fig. 11), branch behaviour (Fig. 7),
+//! prefetchability and bandwidth appetite (Figs. 12, 17), context-switch
+//! intensity (Fig. 4), and SMT/MLP yields.
+
+use crate::error::ArchSimError;
+use crate::reuse::ReuseDistanceDist;
+
+/// Instruction-class fractions (paper Fig. 5). Must sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstructionMix {
+    /// Branch instructions.
+    pub branch: f64,
+    /// Floating-point instructions.
+    pub fp: f64,
+    /// Integer arithmetic/logic.
+    pub arith: f64,
+    /// Loads.
+    pub load: f64,
+    /// Stores.
+    pub store: f64,
+}
+
+impl InstructionMix {
+    /// Creates a mix, validating that components are fractions summing to 1.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchSimError::InvalidFraction`] when any component is outside
+    /// `[0, 1]` or the sum differs from 1 by more than 1e-6.
+    pub fn new(branch: f64, fp: f64, arith: f64, load: f64, store: f64) -> Result<Self, ArchSimError> {
+        for (name, v) in [
+            ("branch", branch),
+            ("fp", fp),
+            ("arith", arith),
+            ("load", load),
+            ("store", store),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ArchSimError::InvalidFraction {
+                    name: name.to_string(),
+                    value: v,
+                });
+            }
+        }
+        let sum = branch + fp + arith + load + store;
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(ArchSimError::InvalidFraction {
+                name: "mix sum".to_string(),
+                value: sum,
+            });
+        }
+        Ok(InstructionMix {
+            branch,
+            fp,
+            arith,
+            load,
+            store,
+        })
+    }
+
+    /// Convenience constructor from percentages (paper Fig. 5 is labelled in
+    /// percent). Values are divided by 100 and re-validated.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InstructionMix::new`].
+    pub fn from_percent(
+        branch: f64,
+        fp: f64,
+        arith: f64,
+        load: f64,
+        store: f64,
+    ) -> Result<Self, ArchSimError> {
+        Self::new(branch / 100.0, fp / 100.0, arith / 100.0, load / 100.0, store / 100.0)
+    }
+
+    /// Fraction of instructions that access memory (loads + stores).
+    pub fn memory_fraction(&self) -> f64 {
+        self.load + self.store
+    }
+}
+
+/// Branch behaviour parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchProfile {
+    /// Fraction of branches taken.
+    pub taken_rate: f64,
+    /// Baseline conditional-misprediction probability with an unaliased BTB.
+    pub base_mispredict: f64,
+    /// Distinct branch sites the workload exercises; BTB aliasing grows as
+    /// this exceeds the BTB capacity (the paper's Web observation).
+    pub branch_working_set: u32,
+}
+
+/// Fractions of data misses exhibiting each prefetchable pattern.
+///
+/// These drive the statistical prefetcher model: a next-line prefetcher can
+/// only cover the sequential fraction, an IP-stride prefetcher the strided
+/// fraction, and every covered miss costs `1/accuracy` lines of traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchAffinity {
+    /// Fraction of data misses that are next-line sequential.
+    pub sequential: f64,
+    /// Fraction of data misses with a constant stride detectable per-IP.
+    pub ip_stride: f64,
+    /// Useful-prefetch accuracy (useful / issued) for this access pattern.
+    pub accuracy: f64,
+}
+
+impl PrefetchAffinity {
+    /// A conservative default: modest sequential behaviour.
+    pub fn modest() -> Self {
+        PrefetchAffinity {
+            sequential: 0.25,
+            ip_stride: 0.15,
+            accuracy: 0.55,
+        }
+    }
+}
+
+/// Context-switch intensity (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContextSwitchProfile {
+    /// Switches per second per core at peak load.
+    pub rate_per_sec: f64,
+    /// Direct cost per switch in microseconds — lower bound (register/state
+    /// swap only, per the prior work the paper cites).
+    pub direct_cost_us_low: f64,
+    /// Direct cost upper bound including scheduler work.
+    pub direct_cost_us_high: f64,
+    /// Fraction of L1/L2/TLB state lost per switch (cache pollution).
+    pub pollution_fraction: f64,
+}
+
+impl ContextSwitchProfile {
+    /// A quiet profile for compute-bound services.
+    pub fn quiet() -> Self {
+        ContextSwitchProfile {
+            rate_per_sec: 500.0,
+            direct_cost_us_low: 1.2,
+            direct_cost_us_high: 2.4,
+            pollution_fraction: 0.05,
+        }
+    }
+}
+
+/// Page-locality traits consumed by the THP/SHP policy model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageProfile {
+    /// How densely the workload's hot 4 KiB data pages pack into 2 MiB pages
+    /// (1 = no packing benefit, 512 = perfectly dense). Feed1's dense
+    /// feature vectors pack well; pointer-chasing heaps do not.
+    pub data_compaction: f64,
+    /// Same for code pages (Web's JIT code cache is contiguous).
+    pub code_compaction: f64,
+    /// Fraction of the data footprint already allocated through
+    /// `madvise(MADV_HUGEPAGE)` (the production default honours it).
+    pub madvise_fraction: f64,
+    /// Whether the service uses the SHP (hugetlbfs) APIs at all; Ads1 does
+    /// not, so the SHP knob is inapplicable to it (paper Sec. 4).
+    pub uses_shp: bool,
+    /// Bytes of code the SHP pool must cover for full ITLB benefit.
+    pub shp_target_bytes: u64,
+}
+
+/// Complete stream specification for one workload on one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSpec {
+    /// Human-readable workload name ("web", "ads1", …).
+    pub name: String,
+    /// Instruction mix (Fig. 5).
+    pub mix: InstructionMix,
+    /// Line-granularity code reuse (calibrates code MPKI, Figs. 8–9).
+    pub code_reuse: ReuseDistanceDist,
+    /// Line-granularity data reuse (calibrates data MPKI, Figs. 8–9).
+    pub data_reuse: ReuseDistanceDist,
+    /// 4 KiB-page-granularity code reuse (calibrates ITLB MPKI, Fig. 11).
+    pub code_page_reuse: ReuseDistanceDist,
+    /// 4 KiB-page-granularity data reuse (calibrates DTLB MPKI, Fig. 11).
+    pub data_page_reuse: ReuseDistanceDist,
+    /// Branch behaviour.
+    pub branch: BranchProfile,
+    /// Prefetchable-pattern fractions.
+    pub prefetch: PrefetchAffinity,
+    /// Page-locality traits.
+    pub pages: PageProfile,
+    /// Context-switch intensity.
+    pub context_switch: ContextSwitchProfile,
+    /// Memory-level parallelism: how many data misses overlap (divides the
+    /// exposed back-end miss latency).
+    pub mlp: f64,
+    /// Relative throughput gain from the second SMT thread (0.0–1.0).
+    pub smt_gain: f64,
+    /// Base CPI adjustment multiplier for execution (non-miss) work;
+    /// calibrates absolute IPC to Fig. 6.
+    pub base_cpi_scale: f64,
+    /// Writeback traffic per store-side LLC miss, in lines (dirty-line
+    /// factor for the bandwidth model).
+    pub writeback_factor: f64,
+    /// Memory-traffic burstiness multiplier (>1 ⇒ operates above the smooth
+    /// queueing curve; the paper's Ads1/Ads2 behaviour in Fig. 12).
+    pub burstiness: f64,
+    /// LLC contention coefficient α: with `n` active cores the per-core
+    /// effective LLC share is `1 / (1 + (n−1)·α)`. α→0 models fully shared
+    /// working sets (code), α→1 fully private ones. Drives the Fig. 15
+    /// core-count roll-off.
+    pub llc_contention: f64,
+    /// Fraction of the LLC the code stream holds under natural LRU
+    /// competition (no CDP). Code that is re-referenced frequently relative
+    /// to the data flood retains more occupancy; the CDP knob's job is
+    /// precisely to override this competitive split with an enforced one.
+    pub natural_code_llc_share: f64,
+    /// Memory-interface lines per kilo-instruction beyond the modeled demand
+    /// stream: NIC/storage DMA, kernel I/O, page-walk and co-runner traffic.
+    /// Calibrates the Fig. 12 bandwidth operating points (the Cache tiers
+    /// move tens of GB/s of DMA that never appears as core LLC misses).
+    pub extra_mem_lines_per_ki: f64,
+    /// Fraction of the extra (non-demand) memory traffic attributable to the
+    /// hardware prefetchers. Fig. 9 vs. Fig. 12 imply that demand LLC misses
+    /// explain only a small share of the measured bandwidth; the rest is
+    /// prefetcher overfetch, page walks, and kernel I/O. The prefetcher
+    /// share disappears when the corresponding engines are disabled — the
+    /// mechanism behind Web-on-Broadwell preferring prefetchers off
+    /// (Fig. 17).
+    pub extra_traffic_prefetch_fraction: f64,
+    /// Fraction of front-end miss latency actually exposed as stall slots.
+    /// Decoupled fetch, instruction prefetching, and the second SMT thread
+    /// hide most short instruction misses for some services (the Cache
+    /// tiers), while Web's serialized JIT misses stay exposed ("the latency
+    /// of code misses is not hidden", Sec. 6.1).
+    pub frontend_exposure: f64,
+}
+
+impl StreamSpec {
+    /// Validates cross-field invariants not already enforced by the
+    /// component constructors.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchSimError::InvalidFraction`] for any out-of-range fraction.
+    pub fn validate(&self) -> Result<(), ArchSimError> {
+        let checks = [
+            ("taken_rate", self.branch.taken_rate),
+            ("base_mispredict", self.branch.base_mispredict),
+            ("prefetch.sequential", self.prefetch.sequential),
+            ("prefetch.ip_stride", self.prefetch.ip_stride),
+            ("prefetch.accuracy", self.prefetch.accuracy),
+            ("pages.madvise_fraction", self.pages.madvise_fraction),
+            ("context_switch.pollution", self.context_switch.pollution_fraction),
+            ("smt_gain", self.smt_gain),
+            ("llc_contention", self.llc_contention),
+            ("natural_code_llc_share", self.natural_code_llc_share),
+            ("frontend_exposure", self.frontend_exposure),
+            ("extra_traffic_prefetch_fraction", self.extra_traffic_prefetch_fraction),
+        ];
+        if !(self.extra_mem_lines_per_ki >= 0.0 && self.extra_mem_lines_per_ki.is_finite()) {
+            return Err(ArchSimError::InvalidFraction {
+                name: "extra_mem_lines_per_ki".to_string(),
+                value: self.extra_mem_lines_per_ki,
+            });
+        }
+        for (name, v) in checks {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(ArchSimError::InvalidFraction {
+                    name: name.to_string(),
+                    value: v,
+                });
+            }
+        }
+        for (name, v) in [
+            ("mlp", self.mlp),
+            ("base_cpi_scale", self.base_cpi_scale),
+            ("burstiness", self.burstiness),
+            ("pages.data_compaction", self.pages.data_compaction),
+            ("pages.code_compaction", self.pages.code_compaction),
+        ] {
+            let ok = if name == "base_cpi_scale" {
+                v.is_finite() && v > 0.0
+            } else {
+                v.is_finite() && v >= 1.0
+            };
+            if !ok {
+                return Err(ArchSimError::InvalidFraction {
+                    name: name.to_string(),
+                    value: v,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_validation() {
+        assert!(InstructionMix::new(0.2, 0.0, 0.3, 0.35, 0.15).is_ok());
+        assert!(InstructionMix::new(0.5, 0.5, 0.5, 0.0, 0.0).is_err());
+        assert!(InstructionMix::new(-0.1, 0.2, 0.4, 0.35, 0.15).is_err());
+        let m = InstructionMix::from_percent(20.0, 0.0, 31.0, 36.0, 13.0).unwrap();
+        assert!((m.memory_fraction() - 0.49).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_percent_scales() {
+        let m = InstructionMix::from_percent(25.0, 10.0, 30.0, 25.0, 10.0).unwrap();
+        assert!((m.branch - 0.25).abs() < 1e-12);
+        assert!((m.fp - 0.10).abs() < 1e-12);
+    }
+
+    fn minimal_spec() -> StreamSpec {
+        let line = ReuseDistanceDist::single_knee(512, 0.1, 0.01, 1 << 20).unwrap();
+        let page = ReuseDistanceDist::single_knee(64, 0.05, 0.01, 1 << 14).unwrap();
+        StreamSpec {
+            name: "test".to_string(),
+            mix: InstructionMix::new(0.2, 0.0, 0.3, 0.35, 0.15).unwrap(),
+            code_reuse: line.clone(),
+            data_reuse: line,
+            code_page_reuse: page.clone(),
+            data_page_reuse: page,
+            branch: BranchProfile {
+                taken_rate: 0.6,
+                base_mispredict: 0.03,
+                branch_working_set: 2048,
+            },
+            prefetch: PrefetchAffinity::modest(),
+            pages: PageProfile {
+                data_compaction: 16.0,
+                code_compaction: 64.0,
+                madvise_fraction: 0.3,
+                uses_shp: true,
+                shp_target_bytes: 512 << 20,
+            },
+            context_switch: ContextSwitchProfile::quiet(),
+            mlp: 3.0,
+            smt_gain: 0.25,
+            base_cpi_scale: 1.0,
+            writeback_factor: 0.4,
+            burstiness: 1.0,
+            llc_contention: 0.5,
+            natural_code_llc_share: 0.35,
+            extra_mem_lines_per_ki: 0.0,
+            extra_traffic_prefetch_fraction: 0.3,
+            frontend_exposure: 0.6,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        minimal_spec().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        let mut s = minimal_spec();
+        s.branch.taken_rate = 1.2;
+        assert!(s.validate().is_err());
+
+        let mut s = minimal_spec();
+        s.mlp = 0.5;
+        assert!(s.validate().is_err());
+
+        let mut s = minimal_spec();
+        s.smt_gain = -0.1;
+        assert!(s.validate().is_err());
+
+        let mut s = minimal_spec();
+        s.pages.data_compaction = 0.0;
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,438 @@
+//! TLB hierarchy with multiple page sizes.
+//!
+//! The huge-page knobs (THP, SHP) act entirely through the TLBs: 2 MiB pages
+//! collapse hundreds of 4 KiB translations into one entry, cutting ITLB and
+//! DTLB MPKI (paper Figs. 11 and 18). The model follows the Intel layout:
+//! separate first-level ITLB/DTLB arrays per page size, a unified
+//! second-level STLB, and a page walk on a full miss.
+
+use crate::error::ArchSimError;
+use crate::platform::TlbGeometry;
+use std::collections::HashMap;
+
+/// A fully-associative LRU set of page numbers with O(1) access, backed by an
+/// intrusive doubly-linked list over a slab.
+///
+/// # Example
+///
+/// ```
+/// use softsku_archsim::tlb::LruSet;
+///
+/// let mut tlb = LruSet::new(2).unwrap();
+/// assert!(!tlb.access(100));
+/// assert!(!tlb.access(200));
+/// assert!(tlb.access(100));   // 100 is MRU, 200 LRU
+/// assert!(!tlb.access(300));  // evicts 200
+/// assert!(!tlb.access(200));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruSet {
+    capacity: usize,
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    head: usize, // MRU
+    tail: usize, // LRU
+    free: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+const NONE: usize = usize::MAX;
+
+impl LruSet {
+    /// Creates an LRU set holding up to `capacity` entries.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchSimError::InvalidGeometry`] for zero capacity.
+    pub fn new(capacity: usize) -> Result<Self, ArchSimError> {
+        if capacity == 0 {
+            return Err(ArchSimError::InvalidGeometry(
+                "LRU set capacity must be nonzero".to_string(),
+            ));
+        }
+        Ok(LruSet {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            head: NONE,
+            tail: NONE,
+            free: Vec::new(),
+        })
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Touches `key`: returns `true` if it was resident (and refreshes it),
+    /// otherwise inserts it (evicting the LRU entry if full) and returns
+    /// `false`.
+    pub fn access(&mut self, key: u64) -> bool {
+        if let Some(&idx) = self.map.get(&key) {
+            self.detach(idx);
+            self.attach_front(idx);
+            return true;
+        }
+        if self.map.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NONE);
+            let old_key = self.nodes[lru].key;
+            self.detach(lru);
+            self.map.remove(&old_key);
+            self.free.push(lru);
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = Node {
+                key,
+                prev: NONE,
+                next: NONE,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                key,
+                prev: NONE,
+                next: NONE,
+            });
+            self.nodes.len() - 1
+        };
+        self.map.insert(key, idx);
+        self.attach_front(idx);
+        false
+    }
+
+    /// Drops approximately `fraction` of entries, LRU-first (context-switch
+    /// shootdown pollution).
+    pub fn flush_fraction(&mut self, fraction: f64) {
+        let drop = ((self.map.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+        for _ in 0..drop {
+            let lru = self.tail;
+            if lru == NONE {
+                break;
+            }
+            let key = self.nodes[lru].key;
+            self.detach(lru);
+            self.map.remove(&key);
+            self.free.push(lru);
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NONE {
+            self.nodes[prev].next = next;
+        } else if self.head == idx {
+            self.head = next;
+        }
+        if next != NONE {
+            self.nodes[next].prev = prev;
+        } else if self.tail == idx {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NONE;
+        self.nodes[idx].next = NONE;
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NONE;
+        self.nodes[idx].next = self.head;
+        if self.head != NONE {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NONE {
+            self.tail = idx;
+        }
+    }
+}
+
+/// Where a translation was found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TlbOutcome {
+    /// First-level TLB hit (free).
+    L1Hit,
+    /// Second-level (STLB) hit — small penalty.
+    StlbHit,
+    /// Full miss — hardware page walk.
+    Walk,
+}
+
+/// One first-level TLB pair (4 KiB + 2 MiB arrays) plus a shared STLB
+/// reference is modelled by [`TlbHierarchy`]; this struct is one side
+/// (instruction or data).
+#[derive(Debug, Clone)]
+struct FirstLevelTlb {
+    small: LruSet,
+    huge: LruSet,
+}
+
+impl FirstLevelTlb {
+    fn new(geom: &TlbGeometry) -> Result<Self, ArchSimError> {
+        Ok(FirstLevelTlb {
+            small: LruSet::new(geom.entries_4k as usize)?,
+            huge: LruSet::new(geom.entries_2m as usize)?,
+        })
+    }
+
+    fn access(&mut self, page: u64, hugepage: bool) -> bool {
+        if hugepage {
+            self.huge.access(page)
+        } else {
+            self.small.access(page)
+        }
+    }
+}
+
+/// Instruction + data TLBs with a unified STLB.
+///
+/// Page numbers are 4 KiB-granular ids; huge-page translations are looked up
+/// under the id of the containing 2 MiB region (computed by the caller via
+/// the workload's compaction factor).
+#[derive(Debug, Clone)]
+pub struct TlbHierarchy {
+    itlb: FirstLevelTlb,
+    dtlb: FirstLevelTlb,
+    stlb: LruSet,
+    /// Statistics.
+    itlb_accesses: u64,
+    itlb_misses: u64,
+    itlb_walks: u64,
+    dtlb_accesses: u64,
+    dtlb_misses: u64,
+    dtlb_walks: u64,
+}
+
+impl TlbHierarchy {
+    /// Builds the hierarchy from platform geometries.
+    ///
+    /// # Errors
+    ///
+    /// [`ArchSimError::InvalidGeometry`] for zero-sized arrays.
+    pub fn new(
+        itlb: &TlbGeometry,
+        dtlb: &TlbGeometry,
+        stlb_entries: u32,
+    ) -> Result<Self, ArchSimError> {
+        Ok(TlbHierarchy {
+            itlb: FirstLevelTlb::new(itlb)?,
+            dtlb: FirstLevelTlb::new(dtlb)?,
+            stlb: LruSet::new(stlb_entries as usize)?,
+            itlb_accesses: 0,
+            itlb_misses: 0,
+            itlb_walks: 0,
+            dtlb_accesses: 0,
+            dtlb_misses: 0,
+            dtlb_walks: 0,
+        })
+    }
+
+    /// Translates an instruction fetch.
+    pub fn access_code(&mut self, page: u64, hugepage: bool) -> TlbOutcome {
+        self.itlb_accesses += 1;
+        if self.itlb.access(tagged(page, hugepage), hugepage) {
+            return TlbOutcome::L1Hit;
+        }
+        self.itlb_misses += 1;
+        if self.stlb.access(stlb_key(page, hugepage, true)) {
+            TlbOutcome::StlbHit
+        } else {
+            self.itlb_walks += 1;
+            TlbOutcome::Walk
+        }
+    }
+
+    /// Translates a data access.
+    pub fn access_data(&mut self, page: u64, hugepage: bool) -> TlbOutcome {
+        self.dtlb_accesses += 1;
+        if self.dtlb.access(tagged(page, hugepage), hugepage) {
+            return TlbOutcome::L1Hit;
+        }
+        self.dtlb_misses += 1;
+        if self.stlb.access(stlb_key(page, hugepage, false)) {
+            TlbOutcome::StlbHit
+        } else {
+            self.dtlb_walks += 1;
+            TlbOutcome::Walk
+        }
+    }
+
+    /// Context-switch pollution across all arrays.
+    pub fn flush_fraction(&mut self, fraction: f64) {
+        self.itlb.small.flush_fraction(fraction);
+        self.itlb.huge.flush_fraction(fraction);
+        self.dtlb.small.flush_fraction(fraction);
+        self.dtlb.huge.flush_fraction(fraction);
+        self.stlb.flush_fraction(fraction);
+    }
+
+    /// (accesses, first-level misses, walks) for the instruction side.
+    pub fn itlb_stats(&self) -> (u64, u64, u64) {
+        (self.itlb_accesses, self.itlb_misses, self.itlb_walks)
+    }
+
+    /// (accesses, first-level misses, walks) for the data side.
+    pub fn dtlb_stats(&self) -> (u64, u64, u64) {
+        (self.dtlb_accesses, self.dtlb_misses, self.dtlb_walks)
+    }
+
+    /// Clears statistics (contents retained), for warm-up discard.
+    pub fn reset_stats(&mut self) {
+        self.itlb_accesses = 0;
+        self.itlb_misses = 0;
+        self.itlb_walks = 0;
+        self.dtlb_accesses = 0;
+        self.dtlb_misses = 0;
+        self.dtlb_walks = 0;
+    }
+}
+
+/// Distinguish small/huge ids sharing numeric space.
+fn tagged(page: u64, hugepage: bool) -> u64 {
+    (page << 1) | hugepage as u64
+}
+
+fn stlb_key(page: u64, hugepage: bool, code: bool) -> u64 {
+    (page << 2) | ((hugepage as u64) << 1) | code as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::PlatformSpec;
+
+    fn hierarchy() -> TlbHierarchy {
+        let spec = PlatformSpec::skylake18();
+        TlbHierarchy::new(&spec.itlb, &spec.dtlb, spec.stlb_entries).unwrap()
+    }
+
+    #[test]
+    fn lru_set_capacity_and_eviction() {
+        let mut s = LruSet::new(4).unwrap();
+        for k in 0..8u64 {
+            assert!(!s.access(k));
+        }
+        assert_eq!(s.len(), 4);
+        // 4..8 resident, 0..4 evicted.
+        for k in 4..8u64 {
+            assert!(s.access(k));
+        }
+        for k in 0..4u64 {
+            assert!(!s.access(k));
+        }
+    }
+
+    #[test]
+    fn lru_set_matches_reference_model() {
+        let mut s = LruSet::new(16).unwrap();
+        let mut model: Vec<u64> = Vec::new(); // front = MRU
+        let mut state = 7u64;
+        for _ in 0..5000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 40) % 40;
+            let hit_model = if let Some(pos) = model.iter().position(|&k| k == key) {
+                model.remove(pos);
+                model.insert(0, key);
+                true
+            } else {
+                if model.len() == 16 {
+                    model.pop();
+                }
+                model.insert(0, key);
+                false
+            };
+            assert_eq!(s.access(key), hit_model, "divergence on key {key}");
+        }
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(LruSet::new(0).is_err());
+    }
+
+    #[test]
+    fn small_pages_thrash_huge_pages_do_not() {
+        let mut tlb = hierarchy();
+        // Working set of 512 distinct 4 KiB data pages > 64-entry DTLB.
+        for rep in 0..4 {
+            for p in 0..512u64 {
+                let _ = tlb.access_data(p, false);
+                let _ = rep;
+            }
+        }
+        let (_, misses_small, _) = tlb.dtlb_stats();
+        assert!(misses_small > 500, "4K pages must thrash: {misses_small}");
+
+        // Same footprint as 2 MiB pages: 512 pages / 512 ≈ 1–2 huge pages.
+        let mut tlb2 = hierarchy();
+        for _ in 0..4 {
+            for p in 0..512u64 {
+                let _ = tlb2.access_data(p / 512, true);
+            }
+        }
+        let (_, misses_huge, _) = tlb2.dtlb_stats();
+        assert!(misses_huge < 10, "huge pages must not thrash: {misses_huge}");
+    }
+
+    #[test]
+    fn stlb_catches_first_level_misses() {
+        let mut tlb = hierarchy();
+        // 256 pages: miss the 64-entry DTLB but fit the 1536-entry STLB.
+        for _ in 0..4 {
+            for p in 0..256u64 {
+                let _ = tlb.access_data(p, false);
+            }
+        }
+        let (_, misses, walks) = tlb.dtlb_stats();
+        assert!(misses > 256);
+        // After the first cold pass, walks should stop.
+        assert!(
+            (walks as f64) < (misses as f64) * 0.5,
+            "STLB should absorb most repeat misses: {walks} walks vs {misses} misses"
+        );
+    }
+
+    #[test]
+    fn code_and_data_sides_are_independent_at_l1() {
+        let mut tlb = hierarchy();
+        for p in 0..32u64 {
+            let _ = tlb.access_code(p, false);
+        }
+        let (ia, im, _) = tlb.itlb_stats();
+        let (da, _, _) = tlb.dtlb_stats();
+        assert_eq!(ia, 32);
+        assert_eq!(im, 32);
+        assert_eq!(da, 0);
+    }
+
+    #[test]
+    fn flush_injects_misses() {
+        let mut tlb = hierarchy();
+        for p in 0..32u64 {
+            let _ = tlb.access_data(p, false);
+        }
+        tlb.reset_stats();
+        tlb.flush_fraction(1.0);
+        for p in 0..32u64 {
+            let _ = tlb.access_data(p, false);
+        }
+        let (_, misses, _) = tlb.dtlb_stats();
+        assert_eq!(misses, 32);
+    }
+}

@@ -1,0 +1,125 @@
+//! Top-down Microarchitecture Analysis Method (TMAM) slot accounting.
+//!
+//! TMAM (Yasin; used in paper Fig. 7) categorizes every issue slot of every
+//! cycle as **retiring** (useful work), **front-end bound** (no µops
+//! supplied), **bad speculation** (slots wasted on wrong-path work and
+//! recovery), or **back-end bound** (µops available but not accepted —
+//! data-supply and core-execution limits). By construction the four sum to 1.
+
+/// Pipeline-slot fractions for one measurement window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TmamBreakdown {
+    /// Fraction of slots retiring useful µops.
+    pub retiring: f64,
+    /// Fraction of slots lost to instruction supply.
+    pub frontend: f64,
+    /// Fraction of slots lost to misprediction recovery.
+    pub bad_speculation: f64,
+    /// Fraction of slots lost in the back end (memory + core bound).
+    pub backend: f64,
+}
+
+impl TmamBreakdown {
+    /// Builds the breakdown from the CPI model's cycle attribution.
+    ///
+    /// `instructions` retired over `cycles` total cycles on a `width`-slot
+    /// machine, with `frontend_cycles` of fetch-starved cycles and
+    /// `bad_spec_cycles` of recovery. Back-end absorbs the remainder —
+    /// matching TMAM's definition, where "core bound" (execution-port
+    /// pressure accounted in our base CPI) is a back-end subcategory.
+    pub fn from_cycles(
+        instructions: f64,
+        cycles: f64,
+        frontend_cycles: f64,
+        bad_spec_cycles: f64,
+        width: f64,
+    ) -> Self {
+        if cycles <= 0.0 || instructions <= 0.0 || width <= 0.0 {
+            return TmamBreakdown {
+                retiring: 0.0,
+                frontend: 0.0,
+                bad_speculation: 0.0,
+                backend: 1.0,
+            };
+        }
+        let slots = cycles * width;
+        let retiring = (instructions / slots).min(1.0);
+        let frontend = (frontend_cycles / cycles).min(1.0 - retiring);
+        let bad_speculation =
+            (bad_spec_cycles / cycles).min((1.0 - retiring - frontend).max(0.0));
+        let backend = (1.0 - retiring - frontend - bad_speculation).max(0.0);
+        TmamBreakdown {
+            retiring,
+            frontend,
+            bad_speculation,
+            backend,
+        }
+    }
+
+    /// Renders the breakdown as percentages in the paper's column order
+    /// (Retiring, Front-end, Bad speculation, Back-end).
+    pub fn as_percentages(&self) -> [f64; 4] {
+        [
+            self.retiring * 100.0,
+            self.frontend * 100.0,
+            self.bad_speculation * 100.0,
+            self.backend * 100.0,
+        ]
+    }
+}
+
+impl std::fmt::Display for TmamBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = self.as_percentages();
+        write!(
+            f,
+            "retiring {:.0}% / front-end {:.0}% / bad-spec {:.0}% / back-end {:.0}%",
+            p[0], p[1], p[2], p[3]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let t = TmamBreakdown::from_cycles(10_000.0, 25_000.0, 8_000.0, 2_000.0, 4.0);
+        let sum = t.retiring + t.frontend + t.bad_speculation + t.backend;
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(t.retiring > 0.0 && t.frontend > 0.0 && t.backend > 0.0);
+    }
+
+    #[test]
+    fn retiring_matches_ipc_over_width() {
+        // IPC 1.0 on a 4-wide machine ⇒ 25% retiring.
+        let t = TmamBreakdown::from_cycles(10_000.0, 10_000.0, 0.0, 0.0, 4.0);
+        assert!((t.retiring - 0.25).abs() < 1e-12);
+        assert!((t.backend - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_cycles_cannot_exceed_budget() {
+        // Pathological inputs: frontend cycles exceed total cycles.
+        let t = TmamBreakdown::from_cycles(1_000.0, 2_000.0, 5_000.0, 5_000.0, 4.0);
+        let sum = t.retiring + t.frontend + t.bad_speculation + t.backend;
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(t.frontend <= 1.0);
+        assert!(t.backend >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_safe() {
+        let t = TmamBreakdown::from_cycles(0.0, 0.0, 0.0, 0.0, 4.0);
+        assert_eq!(t.backend, 1.0);
+    }
+
+    #[test]
+    fn display_and_percentages() {
+        let t = TmamBreakdown::from_cycles(10_000.0, 25_000.0, 8_000.0, 2_000.0, 4.0);
+        let p = t.as_percentages();
+        assert!((p.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!(t.to_string().contains("retiring"));
+    }
+}

@@ -1,0 +1,483 @@
+//! Synthetic trace generation from reuse-distance distributions.
+//!
+//! [`StackMapper`] maintains a true LRU stack (an implicit treap) over every
+//! line/page a workload has touched; each access samples a reuse distance
+//! from the workload's distribution and performs a move-to-front at that
+//! rank, yielding a concrete id whose stream reproduces the distribution.
+//! [`TraceGenerator`] composes four mappers (code lines, data lines, code
+//! pages, data pages) with the instruction mix to emit per-instruction
+//! events for the cache/TLB/branch simulators.
+
+use crate::ranklist::RankList;
+use crate::reuse::ReuseDistanceDist;
+use crate::stream::StreamSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Maps sampled reuse distances to concrete line/page ids via an LRU stack.
+#[derive(Debug, Clone)]
+pub struct StackMapper {
+    stack: RankList,
+    dist: ReuseDistanceDist,
+    next_id: u64,
+}
+
+/// Pre-warm ceiling: stacks larger than this start truncated; sampled
+/// distances beyond the live stack are treated as cold (they would miss
+/// every structure of interest anyway).
+const PREWARM_CAP: u64 = 1 << 20;
+
+/// Stacks at least this large are cloned from the shared template cache.
+const TEMPLATE_MIN: u64 = 1 << 17;
+/// Fixed priority seed for cached templates (shape-sharing only; instance
+/// behaviour is re-seeded after cloning).
+const TEMPLATE_SEED: u64 = 0x7E3A_11CE;
+
+fn template_cache() -> &'static std::sync::Mutex<std::collections::HashMap<u64, RankList>> {
+    static CACHE: std::sync::OnceLock<std::sync::Mutex<std::collections::HashMap<u64, RankList>>> =
+        std::sync::OnceLock::new();
+    CACHE.get_or_init(|| std::sync::Mutex::new(std::collections::HashMap::new()))
+}
+
+/// Number of ids a mapper for `dist` starts with (its steady-state stack),
+/// and therefore the id range `[prewarm_len - k, prewarm_len)` that holds
+/// the `k` most-recently-used ids at construction time. The engine uses
+/// this to pre-fill caches/TLBs with steady-state contents.
+pub fn prewarm_len(dist: &ReuseDistanceDist) -> u64 {
+    dist.footprint().min(PREWARM_CAP)
+}
+
+impl StackMapper {
+    /// Creates a mapper for one reuse-distance distribution. `seed` shapes
+    /// the internal treap only; sampling randomness is supplied per access.
+    ///
+    /// The stack is pre-warmed to the distribution's footprint (capped at
+    /// ~2M ids) so that long reuse distances resolve to real "old" ids from
+    /// the first access instead of being clamped into a short history —
+    /// without this, short measurement windows would systematically
+    /// under-report large-capacity misses.
+    pub fn new(dist: ReuseDistanceDist, seed: u64) -> Self {
+        let prewarm = prewarm_len(&dist);
+        // Front of the stack = most recently used; ids descend so that the
+        // next cold id continues the sequence. Large stacks are cloned from
+        // a process-wide template cache: the pre-warmed contents depend only
+        // on the footprint, and a memcpy is several times cheaper than
+        // rebuilding a multi-million-node treap per engine evaluation.
+        let stack = if prewarm >= TEMPLATE_MIN {
+            let mut stack = {
+                let mut cache = template_cache().lock().expect("template cache poisoned");
+                cache
+                    .entry(prewarm)
+                    .or_insert_with(|| RankList::with_sequence(TEMPLATE_SEED, (0..prewarm).rev()))
+                    .clone()
+            };
+            // Re-seed the per-instance priority stream so later inserts
+            // differ across seeds even though the initial shape is shared.
+            stack.reseed(seed);
+            stack
+        } else {
+            RankList::with_sequence(seed, (0..prewarm).rev())
+        };
+        StackMapper {
+            stack,
+            dist,
+            next_id: prewarm,
+        }
+    }
+
+    /// Performs one access: samples a distance, returns the touched id.
+    pub fn access<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        match self.dist.sample(rng) {
+            None => self.touch_new(),
+            Some(d) => {
+                let len = self.stack.len();
+                // Distance d means "d-th most recently used distinct id",
+                // with d = 1 the most recent. A distance beyond the live
+                // history refers to an id we no longer track — equivalent to
+                // a cold access for every downstream structure.
+                if len == 0 || d as usize > len {
+                    return self.touch_new();
+                }
+                let rank = (d - 1) as usize;
+                let id = self
+                    .stack
+                    .remove_at(rank)
+                    .expect("rank < len by construction");
+                self.stack.push_front(id);
+                id
+            }
+        }
+    }
+
+    fn touch_new(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.stack.push_front(id);
+        // Bound the stack by the declared footprint: the LRU tail "dies".
+        if self.stack.len() as u64 > self.dist.footprint() {
+            self.stack.pop_back();
+        }
+        id
+    }
+
+    /// Number of distinct ids currently live.
+    pub fn live_ids(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Total distinct ids ever created.
+    pub fn total_ids(&self) -> u64 {
+        self.next_id
+    }
+}
+
+/// The instruction class sampled from the mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsnClass {
+    /// Conditional or indirect branch.
+    Branch,
+    /// Floating-point operation.
+    Fp,
+    /// Integer ALU operation.
+    Arith,
+    /// Memory load.
+    Load,
+    /// Memory store.
+    Store,
+}
+
+/// One synthetic instruction event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InsnEvent {
+    /// Instruction class.
+    pub class: InsnClass,
+    /// Code cache line touched by the fetch.
+    pub code_line: u64,
+    /// Code page touched by the fetch (4 KiB- or 2 MiB-granular id).
+    pub code_page: PageAccess,
+    /// Data line/page for loads and stores.
+    pub data: Option<DataAccess>,
+}
+
+/// One page translation request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PageAccess {
+    /// Page id (granularity given by `is_huge`).
+    pub page: u64,
+    /// True when the page is 2 MiB-backed.
+    pub is_huge: bool,
+}
+
+/// A data-side access.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataAccess {
+    /// True for stores.
+    pub is_store: bool,
+    /// Data cache line id.
+    pub line: u64,
+    /// Data page access.
+    pub page: PageAccess,
+}
+
+/// Huge-page coverage fractions resolved by the page policy; the generator
+/// routes each translation to the 4 KiB or 2 MiB page stream accordingly.
+///
+/// Huge-page streams sample from the *compacted* page distribution: when a
+/// workload's 4 KiB pages pack into 2 MiB pages with density `c`, page-level
+/// reuse distances shrink by `c`. Deriving huge ids arithmetically from the
+/// 4 KiB id stream would be wrong — the LRU stack shuffles ids over time,
+/// destroying the spatial adjacency that huge pages exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HugePageMix {
+    /// Fraction of code translations that are 2 MiB-backed.
+    pub code_huge_fraction: f64,
+    /// Fraction of data translations that are 2 MiB-backed.
+    pub data_huge_fraction: f64,
+}
+
+/// Per-instruction event generator for one workload.
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    code_lines: StackMapper,
+    data_lines: StackMapper,
+    code_pages_4k: StackMapper,
+    data_pages_4k: StackMapper,
+    code_pages_2m: StackMapper,
+    data_pages_2m: StackMapper,
+    huge: HugePageMix,
+    // Cumulative mix thresholds, ordered branch/fp/arith/load/store.
+    thresholds: [f64; 4],
+    rng: SmallRng,
+}
+
+impl TraceGenerator {
+    /// Builds a generator for `spec` under huge-page coverage `huge`,
+    /// deterministically seeded.
+    pub fn new(spec: &StreamSpec, huge: HugePageMix, seed: u64) -> Self {
+        let m = &spec.mix;
+        let t1 = m.branch;
+        let t2 = t1 + m.fp;
+        let t3 = t2 + m.arith;
+        let t4 = t3 + m.load;
+        let code_2m = spec.code_page_reuse.compacted(spec.pages.code_compaction.max(1.0));
+        let data_2m = spec.data_page_reuse.compacted(spec.pages.data_compaction.max(1.0));
+        TraceGenerator {
+            code_lines: StackMapper::new(spec.code_reuse.clone(), seed ^ 0x1),
+            data_lines: StackMapper::new(spec.data_reuse.clone(), seed ^ 0x2),
+            code_pages_4k: StackMapper::new(spec.code_page_reuse.clone(), seed ^ 0x3),
+            data_pages_4k: StackMapper::new(spec.data_page_reuse.clone(), seed ^ 0x4),
+            code_pages_2m: StackMapper::new(code_2m, seed ^ 0x5),
+            data_pages_2m: StackMapper::new(data_2m, seed ^ 0x6),
+            huge,
+            thresholds: [t1, t2, t3, t4],
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates the next instruction event.
+    pub fn next_event(&mut self) -> InsnEvent {
+        let u: f64 = self.rng.gen();
+        let class = if u < self.thresholds[0] {
+            InsnClass::Branch
+        } else if u < self.thresholds[1] {
+            InsnClass::Fp
+        } else if u < self.thresholds[2] {
+            InsnClass::Arith
+        } else if u < self.thresholds[3] {
+            InsnClass::Load
+        } else {
+            InsnClass::Store
+        };
+        let code_line = self.code_lines.access(&mut self.rng);
+        let code_huge = self.rng.gen::<f64>() < self.huge.code_huge_fraction;
+        let code_page = if code_huge {
+            PageAccess {
+                page: self.code_pages_2m.access(&mut self.rng),
+                is_huge: true,
+            }
+        } else {
+            PageAccess {
+                page: self.code_pages_4k.access(&mut self.rng),
+                is_huge: false,
+            }
+        };
+        let data = match class {
+            InsnClass::Load | InsnClass::Store => {
+                let data_huge = self.rng.gen::<f64>() < self.huge.data_huge_fraction;
+                let page = if data_huge {
+                    PageAccess {
+                        page: self.data_pages_2m.access(&mut self.rng),
+                        is_huge: true,
+                    }
+                } else {
+                    PageAccess {
+                        page: self.data_pages_4k.access(&mut self.rng),
+                        is_huge: false,
+                    }
+                };
+                Some(DataAccess {
+                    is_store: class == InsnClass::Store,
+                    line: self.data_lines.access(&mut self.rng),
+                    page,
+                })
+            }
+            _ => None,
+        };
+        InsnEvent {
+            class,
+            code_line,
+            code_page,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::ReuseDistanceDist;
+    use crate::stream::{
+        BranchProfile, ContextSwitchProfile, InstructionMix, PageProfile, PrefetchAffinity,
+    };
+
+    fn spec() -> StreamSpec {
+        let line = ReuseDistanceDist::from_survival_points(
+            &[(512, 0.25), (16_384, 0.05)],
+            0.01,
+            200_000,
+        )
+        .unwrap();
+        let page = ReuseDistanceDist::single_knee(64, 0.08, 0.01, 10_000).unwrap();
+        StreamSpec {
+            name: "test".to_string(),
+            mix: InstructionMix::new(0.20, 0.05, 0.30, 0.30, 0.15).unwrap(),
+            code_reuse: line.clone(),
+            data_reuse: line,
+            code_page_reuse: page.clone(),
+            data_page_reuse: page,
+            branch: BranchProfile {
+                taken_rate: 0.6,
+                base_mispredict: 0.02,
+                branch_working_set: 1024,
+            },
+            prefetch: PrefetchAffinity::modest(),
+            pages: PageProfile {
+                data_compaction: 16.0,
+                code_compaction: 64.0,
+                madvise_fraction: 0.3,
+                uses_shp: false,
+                shp_target_bytes: 0,
+            },
+            context_switch: ContextSwitchProfile::quiet(),
+            mlp: 3.0,
+            smt_gain: 0.25,
+            base_cpi_scale: 1.0,
+            writeback_factor: 0.4,
+            burstiness: 1.0,
+            llc_contention: 0.5,
+            natural_code_llc_share: 0.35,
+            extra_mem_lines_per_ki: 0.0,
+            extra_traffic_prefetch_fraction: 0.3,
+            frontend_exposure: 0.6,
+        }
+    }
+
+    #[test]
+    fn stack_mapper_reproduces_miss_ratio() {
+        // Direct check of the central claim: for a fully-associative LRU of
+        // capacity C, the fraction of accesses whose sampled id was NOT in
+        // the C most-recent distinct ids equals miss_ratio(C).
+        let dist = ReuseDistanceDist::from_survival_points(
+            &[(128, 0.3), (4096, 0.05)],
+            0.02,
+            100_000,
+        )
+        .unwrap();
+        let mut mapper = StackMapper::new(dist.clone(), 7);
+        let mut rng = SmallRng::seed_from_u64(42);
+        // Model LRU cache of capacity 128 as a recency list.
+        let mut recency: Vec<u64> = Vec::new();
+        let cap = 128usize;
+        let mut misses = 0u64;
+        let n = 60_000u64;
+        for _ in 0..n {
+            let id = mapper.access(&mut rng);
+            if let Some(pos) = recency.iter().position(|&x| x == id) {
+                recency.remove(pos);
+            } else {
+                misses += 1;
+            }
+            recency.insert(0, id);
+            recency.truncate(cap);
+        }
+        let empirical = misses as f64 / n as f64;
+        let analytic = dist.miss_ratio(cap as u64);
+        assert!(
+            (empirical - analytic).abs() < 0.03,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn mapper_footprint_is_bounded() {
+        let dist = ReuseDistanceDist::single_knee(16, 0.5, 0.4, 64).unwrap();
+        let mut mapper = StackMapper::new(dist, 1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            mapper.access(&mut rng);
+        }
+        assert!(mapper.live_ids() as u64 <= 64);
+        assert!(mapper.total_ids() > 64, "cold accesses keep minting ids");
+    }
+
+    #[test]
+    fn mix_fractions_are_respected() {
+        let mut g = TraceGenerator::new(&spec(), HugePageMix::default(), 3);
+        let n = 100_000;
+        let mut counts = [0usize; 5];
+        for _ in 0..n {
+            let e = g.next_event();
+            let idx = match e.class {
+                InsnClass::Branch => 0,
+                InsnClass::Fp => 1,
+                InsnClass::Arith => 2,
+                InsnClass::Load => 3,
+                InsnClass::Store => 4,
+            };
+            counts[idx] += 1;
+            // Loads/stores carry data accesses; others must not.
+            match e.class {
+                InsnClass::Load => assert!(e.data.is_some() && !e.data.unwrap().is_store),
+                InsnClass::Store => assert!(e.data.is_some() && e.data.unwrap().is_store),
+                _ => assert!(e.data.is_none()),
+            }
+        }
+        let expect = [0.20, 0.05, 0.30, 0.30, 0.15];
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!(
+                (frac - expect[i]).abs() < 0.01,
+                "class {i}: {frac} vs {}",
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = TraceGenerator::new(&spec(), HugePageMix::default(), 9);
+        let mut b = TraceGenerator::new(&spec(), HugePageMix::default(), 9);
+        for _ in 0..1000 {
+            assert_eq!(a.next_event(), b.next_event());
+        }
+    }
+
+    #[test]
+    fn huge_mix_routes_translations() {
+        let mix = HugePageMix {
+            code_huge_fraction: 1.0,
+            data_huge_fraction: 0.0,
+        };
+        let mut g = TraceGenerator::new(&spec(), mix, 4);
+        for _ in 0..2_000 {
+            let e = g.next_event();
+            assert!(e.code_page.is_huge);
+            if let Some(d) = e.data {
+                assert!(!d.page.is_huge);
+            }
+        }
+    }
+
+    #[test]
+    fn huge_stream_has_compacted_working_set() {
+        // With compaction 64, the 2 MiB code-page stream should touch far
+        // fewer distinct ids than the 4 KiB stream over the same window.
+        let all_4k = HugePageMix::default();
+        let all_2m = HugePageMix {
+            code_huge_fraction: 1.0,
+            data_huge_fraction: 1.0,
+        };
+        let mut small = TraceGenerator::new(&spec(), all_4k, 8);
+        let mut big = TraceGenerator::new(&spec(), all_2m, 8);
+        let mut ids_4k = std::collections::HashSet::new();
+        let mut ids_2m = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            ids_4k.insert(small.next_event().code_page.page);
+            ids_2m.insert(big.next_event().code_page.page);
+        }
+        assert!(
+            (ids_2m.len() as f64) < (ids_4k.len() as f64) / 2.5,
+            "2M ids {} vs 4K ids {}",
+            ids_2m.len(),
+            ids_4k.len()
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = TraceGenerator::new(&spec(), HugePageMix::default(), 1);
+        let mut b = TraceGenerator::new(&spec(), HugePageMix::default(), 2);
+        let same = (0..100).filter(|_| a.next_event() == b.next_event()).count();
+        assert!(same < 100);
+    }
+}

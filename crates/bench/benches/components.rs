@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the simulator's hot components.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use softsku_archsim::cache::SetAssocCache;
+use softsku_archsim::engine::{Engine, ServerConfig};
+use softsku_archsim::platform::PlatformSpec;
+use softsku_archsim::ranklist::RankList;
+use softsku_archsim::reuse::ReuseDistanceDist;
+use softsku_archsim::tlb::LruSet;
+use softsku_archsim::trace::{HugePageMix, StackMapper, TraceGenerator};
+use softsku_telemetry::stats::{t_quantile, welch_test, Summary};
+use softsku_workloads::{Microservice, PlatformKind};
+
+fn bench_ranklist(c: &mut Criterion) {
+    c.bench_function("ranklist/move_to_front_1M", |b| {
+        let mut list = RankList::with_sequence(7, 0..1_000_000u64);
+        let mut state = 1u64;
+        b.iter(|| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let rank = ((state >> 33) as usize) % list.len();
+            let v = list.remove_at(rank).unwrap();
+            list.push_front(black_box(v));
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/llc_access", |b| {
+        let spec = PlatformSpec::skylake18();
+        let mut cache = SetAssocCache::from_geometry(&spec.llc, spec.llc.ways, 0.25).unwrap();
+        let mut line = 0u64;
+        b.iter(|| {
+            line = (line + 97) % 200_000;
+            black_box(cache.access(line));
+        });
+    });
+    c.bench_function("tlb/lru_set_access", |b| {
+        let mut tlb = LruSet::new(1536).unwrap();
+        let mut page = 0u64;
+        b.iter(|| {
+            page = (page + 13) % 4096;
+            black_box(tlb.access(page));
+        });
+    });
+}
+
+fn bench_trace(c: &mut Criterion) {
+    let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+    c.bench_function("trace/stack_mapper_access", |b| {
+        let dist =
+            ReuseDistanceDist::from_survival_points(&[(512, 0.1), (65_536, 0.01)], 0.001, 1 << 20)
+                .unwrap();
+        let mut mapper = StackMapper::new(dist, 3);
+        let mut rng = rand_rng();
+        b.iter(|| black_box(mapper.access(&mut rng)));
+    });
+    c.bench_function("trace/next_event_web", |b| {
+        let mut gen = TraceGenerator::new(&profile.stream, HugePageMix::default(), 5);
+        b.iter(|| black_box(gen.next_event()));
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(10));
+    group.bench_function("web_window_100k", |b| {
+        let engine = Engine::new(
+            ServerConfig::stock(PlatformSpec::skylake18()),
+            profile.stream.clone(),
+            11,
+        )
+        .unwrap();
+        b.iter(|| black_box(engine.run_window(100_000, 0.6).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    c.bench_function("stats/t_quantile", |b| {
+        b.iter(|| black_box(t_quantile(black_box(0.975), black_box(199.0))));
+    });
+    c.bench_function("stats/welch_test", |b| {
+        let a = Summary::from_moments(10_000, 100.0, 4.0);
+        let s = Summary::from_moments(10_000, 100.5, 4.2);
+        b.iter(|| black_box(welch_test(&a, &s)));
+    });
+}
+
+fn rand_rng() -> rand::rngs::SmallRng {
+    use rand::SeedableRng;
+    rand::rngs::SmallRng::seed_from_u64(9)
+}
+
+criterion_group!(
+    benches,
+    bench_ranklist,
+    bench_cache,
+    bench_trace,
+    bench_engine,
+    bench_stats
+);
+criterion_main!(benches);

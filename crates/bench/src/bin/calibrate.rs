@@ -1,0 +1,58 @@
+//! Calibration check: simulate every service at its production operating
+//! point and print measured vs. target characterization numbers.
+//!
+//! Run with `cargo run -p softsku-bench --release --bin calibrate`.
+
+use softsku_archsim::engine::Engine;
+use softsku_workloads::Microservice;
+
+fn main() {
+    println!(
+        "{:<8} {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>5} {:>5} | bw(GB/s) lat(ns) | tmam r/f/b/b | cs%",
+        "svc", "ipc", "tgt", "l1i", "tgt", "l2c", "tgt", "llcC", "tgt", "llcD", "tgt", "itlb", "tgt", "dtlb", "tgt"
+    );
+    for svc in Microservice::ALL {
+        let plat = svc.default_platform();
+        let prof = svc.profile(plat).unwrap();
+        let t = svc.targets();
+        let engine = Engine::new(prof.production_config.clone(), prof.stream.clone(), 42).unwrap();
+        let r = engine.run_window(600_000, prof.peak_utilization).unwrap();
+        let c = &r.counters;
+        let tm = r.tmam.as_percentages();
+        println!(
+            "{:<8} {:>6.2} {:>6.2} | {:>6.1} {:>6.1} | {:>6.1} {:>6.1} | {:>6.2} {:>6.2} | {:>6.2} {:>6.2} | {:>6.1} {:>6.1} | {:>5.1} {:>5.1} | {:>7.1}/{:<5.0} {:>6.0}/{:<4.0} | {:>2.0}/{:>2.0}/{:>2.0}/{:>2.0} vs {:.0}/{:.0}/{:.0}/{:.0} | {:>4.1} ({:.0}-{:.0})",
+            t.name,
+            r.ipc_core, t.ipc,
+            c.l1i_code_mpki(), t.code_mpki[0],
+            c.l2_code_mpki(), t.code_mpki[1],
+            c.llc_code_mpki(), t.code_mpki[2],
+            c.llc_data_mpki(), t.data_mpki[2],
+            c.itlb_mpki(), t.itlb_mpki,
+            c.dtlb_load_mpki() + c.dtlb_store_mpki(), t.dtlb_mpki[0] + t.dtlb_mpki[1],
+            r.bandwidth_gbps, t.bw_gbps,
+            r.mem_latency_ns, t.mem_latency_ns,
+            tm[0], tm[1], tm[2], tm[3],
+            t.tmam_pct[0], t.tmam_pct[1], t.tmam_pct[2], t.tmam_pct[3],
+            r.context_switch_fraction * 100.0,
+            t.cs_time_pct.0, t.cs_time_pct.1,
+        );
+        // Suggested base_cpi_scale to hit the Fig. 6 per-core IPC target.
+        let ipc_thread_target = t.ipc / (1.0 + prof.stream.smt_gain);
+        let cycles_needed = c.instructions as f64 / ipc_thread_target;
+        let nonbase = r.cpi.total() - r.cpi.base;
+        let scale_now = prof.stream.base_cpi_scale;
+        let suggested = ((cycles_needed - nonbase) / (r.cpi.base / scale_now)).max(0.05);
+        println!(
+            "          l1d {:>6.1}/{:<6.1} l2d {:>6.1}/{:<6.1} mips/core {:>8.0} thread-ipc {:>5.2} util {:>4.2} bw-bound {} scale->{:.2}",
+            c.l1d_data_mpki(), t.data_mpki[0],
+            c.l2_data_mpki(), t.data_mpki[1],
+            r.mips_per_core, r.ipc_thread, r.mem_utilization, r.bandwidth_bound, suggested
+        );
+        let ki = c.instructions as f64 / 1000.0;
+        println!(
+            "          cpi/KI: base {:.0} fe {:.0} bs {:.0} be {:.0} cs {:.0}",
+            r.cpi.base / ki, r.cpi.frontend / ki, r.cpi.bad_speculation / ki,
+            r.cpi.backend_memory / ki, r.cpi.context_switch / ki
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Quick knob-response sanity check: prints MIPS deltas for the key
+//! experiments of Figs. 14–18 before the full µSKU harness exists.
+
+use softsku_archsim::cache::CdpPartition;
+use softsku_archsim::engine::{Engine, ServerConfig};
+use softsku_archsim::pagemap::ThpMode;
+use softsku_archsim::platform::PlatformKind;
+use softsku_archsim::prefetch::PrefetcherConfig;
+use softsku_workloads::Microservice;
+
+const WINDOW: u64 = 400_000;
+
+fn mips(svc: Microservice, plat: PlatformKind, cfg: &ServerConfig) -> f64 {
+    let prof = svc.profile(plat).unwrap();
+    let e = Engine::new(cfg.clone(), prof.stream.clone(), 42).unwrap();
+    e.run_window(WINDOW, prof.peak_utilization).unwrap().mips_total
+}
+
+fn main() {
+    for (svc, plat) in [
+        (Microservice::Web, PlatformKind::Skylake18),
+        (Microservice::Web, PlatformKind::Broadwell16),
+        (Microservice::Ads1, PlatformKind::Skylake18),
+    ] {
+        let prof = svc.profile(plat).unwrap();
+        let base = prof.production_config.clone();
+        let m0 = mips(svc, plat, &base);
+        println!("== {svc} on {plat} (production MIPS {m0:.0}) ==");
+
+        // CDP sweep.
+        let ways = base.llc_ways_enabled;
+        print!("  CDP: ");
+        for p in CdpPartition::sweep(ways) {
+            let mut cfg = base.clone();
+            cfg.cdp = Some(p);
+            let g = (mips(svc, plat, &cfg) / m0 - 1.0) * 100.0;
+            print!("{p}:{g:+.1}% ");
+        }
+        println!();
+
+        // Prefetchers.
+        print!("  PF : ");
+        for pc in PrefetcherConfig::sweep() {
+            let mut cfg = base.clone();
+            cfg.prefetchers = pc;
+            let g = (mips(svc, plat, &cfg) / m0 - 1.0) * 100.0;
+            print!("[{pc}]:{g:+.1}% ");
+        }
+        println!();
+
+        // THP.
+        print!("  THP: ");
+        for mode in ThpMode::ALL {
+            let mut cfg = base.clone();
+            cfg.thp = mode;
+            let g = (mips(svc, plat, &cfg) / m0 - 1.0) * 100.0;
+            print!("{mode}:{g:+.1}% ");
+        }
+        println!();
+
+        // SHP.
+        print!("  SHP: ");
+        for shp in (0..=600).step_by(100) {
+            let mut cfg = base.clone();
+            cfg.shp_pages = shp;
+            let g = (mips(svc, plat, &cfg) / m0 - 1.0) * 100.0;
+            print!("{shp}:{g:+.1}% ");
+        }
+        println!();
+
+        // Core frequency.
+        print!("  CF : ");
+        for f in [1.6, 1.8, 2.0, 2.2] {
+            let mut cfg = base.clone();
+            cfg.core_freq_ghz = f;
+            let g = (mips(svc, plat, &cfg) / m0 - 1.0) * 100.0;
+            print!("{f}:{g:+.1}% ");
+        }
+        println!();
+
+        // Uncore frequency.
+        print!("  UF : ");
+        for f in [1.4, 1.6, 1.8] {
+            let mut cfg = base.clone();
+            cfg.uncore_freq_ghz = f;
+            let g = (mips(svc, plat, &cfg) / m0 - 1.0) * 100.0;
+            print!("{f}:{g:+.1}% ");
+        }
+        println!();
+
+        // Core count.
+        print!("  CC : ");
+        for n in [2u32, 4, 8, 12, 16, 18] {
+            if n > plat.spec().total_cores() {
+                continue;
+            }
+            let mut cfg = base.clone();
+            cfg.active_cores = n;
+            let m = mips(svc, plat, &cfg);
+            print!("{n}:{:.2}x ", m / m0);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,41 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p softsku-bench --release --bin repro -- all
+//! cargo run -p softsku-bench --release --bin repro -- fig16 fig17
+//! cargo run -p softsku-bench --release --bin repro -- --full fig19
+//! ```
+
+use softsku_bench::{run_experiment, EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let ids: Vec<String> = args.into_iter().filter(|a| a != "--full").collect();
+    if ids.is_empty() {
+        eprintln!("usage: repro [--full] <experiment-id>... | all");
+        eprintln!("experiments: {}", EXPERIMENTS.join(" "));
+        std::process::exit(2);
+    }
+    let selected: Vec<&str> = if ids.iter().any(|a| a == "all") {
+        EXPERIMENTS.to_vec()
+    } else {
+        let mut out = Vec::new();
+        for id in &ids {
+            if !EXPERIMENTS.contains(&id.as_str()) {
+                eprintln!("unknown experiment {id:?}; valid: {}", EXPERIMENTS.join(" "));
+                std::process::exit(2);
+            }
+            out.push(id.as_str());
+        }
+        out
+    };
+    for id in selected {
+        let start = std::time::Instant::now();
+        let output = run_experiment(id, full);
+        println!("==================== {id} ====================");
+        println!("{output}");
+        println!("  [{id} regenerated in {:.1}s]", start.elapsed().as_secs_f64());
+        println!();
+    }
+}

@@ -1,0 +1,338 @@
+//! Co-location: two microservices sharing one server (paper Sec. 7).
+//!
+//! The paper's fleet runs every service on dedicated bare metal, and Sec. 7
+//! flags co-location as future work: "scheduler systems that map service
+//! affinities can be designed in a µSKU-aware manner". This module
+//! implements that extension on the simulator: a [`ColocatedPair`] couples
+//! two engines through the shared LLC (capacity split) and the shared memory
+//! queue (each service sees the other's bandwidth as background load), and
+//! [`best_pairing`] is the toy µSKU-aware scheduler — it evaluates the
+//! possible pairings of four services onto two servers and picks the one
+//! with the highest total normalized throughput among QoS-feasible options.
+
+use crate::error::ClusterError;
+use softsku_archsim::engine::{Engine, ServerConfig};
+use softsku_workloads::{Microservice, WorkloadProfile};
+
+/// Result of co-locating two services on one server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColocationOutcome {
+    /// MIPS of service A when co-located.
+    pub mips_a: f64,
+    /// MIPS of service B when co-located.
+    pub mips_b: f64,
+    /// A's throughput relative to running alone on its core allocation.
+    pub retention_a: f64,
+    /// B's throughput relative to running alone on its core allocation.
+    pub retention_b: f64,
+    /// Memory-bandwidth utilization of the shared socket.
+    pub socket_mem_utilization: f64,
+}
+
+impl ColocationOutcome {
+    /// Sum of normalized throughputs (2.0 = no interference at all).
+    pub fn total_retention(&self) -> f64 {
+        self.retention_a + self.retention_b
+    }
+}
+
+/// Two services pinned to disjoint core partitions of one platform.
+#[derive(Debug, Clone)]
+pub struct ColocatedPair {
+    profile_a: WorkloadProfile,
+    profile_b: WorkloadProfile,
+    cores_a: u32,
+    cores_b: u32,
+    window_insns: u64,
+    seed: u64,
+}
+
+/// Fixed-point rounds for the mutual bandwidth coupling.
+const COUPLING_ROUNDS: usize = 4;
+
+impl ColocatedPair {
+    /// Creates a pair; both profiles must target the same platform and the
+    /// core split must fit it.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::Sim`] when the split exceeds the platform or the
+    /// platforms differ.
+    pub fn new(
+        profile_a: WorkloadProfile,
+        profile_b: WorkloadProfile,
+        cores_a: u32,
+        cores_b: u32,
+        window_insns: u64,
+        seed: u64,
+    ) -> Result<Self, ClusterError> {
+        let plat = profile_a.production_config.platform.clone();
+        if profile_b.production_config.platform.kind != plat.kind {
+            return Err(ClusterError::Sim(
+                softsku_archsim::ArchSimError::InvalidGeometry(format!(
+                    "co-located services must share a platform: {} vs {}",
+                    plat.kind, profile_b.production_config.platform.kind
+                )),
+            ));
+        }
+        plat.validate_core_count(cores_a + cores_b)
+            .map_err(ClusterError::Sim)?;
+        Ok(ColocatedPair {
+            profile_a,
+            profile_b,
+            cores_a,
+            cores_b,
+            window_insns,
+            seed,
+        })
+    }
+
+    /// Evaluates the pair: iterates the mutual bandwidth coupling to a fixed
+    /// point and returns both services' throughput and interference.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors.
+    pub fn evaluate(&self) -> Result<ColocationOutcome, ClusterError> {
+        // LLC split proportional to core allocation — what a CAT-based
+        // scheduler would configure; µSKU-aware refinements would move this.
+        let total = (self.cores_a + self.cores_b) as f64;
+        let share_a = (self.cores_a as f64 / total).clamp(0.05, 0.95);
+        let share_b = 1.0 - share_a;
+
+        let cfg_a = self.partition_config(&self.profile_a, self.cores_a);
+        let cfg_b = self.partition_config(&self.profile_b, self.cores_b);
+        let engine_a = Engine::new(cfg_a.clone(), self.profile_a.stream.clone(), self.seed)?;
+        let engine_b =
+            Engine::new(cfg_b.clone(), self.profile_b.stream.clone(), self.seed ^ 0xC0)?;
+
+        // Solo baselines: same core slice, full LLC, no background traffic.
+        let solo_a = engine_a.run_window(self.window_insns, self.profile_a.peak_utilization)?;
+        let solo_b = engine_b.run_window(self.window_insns, self.profile_b.peak_utilization)?;
+
+        // Coupled fixed point.
+        let mut bw_a = solo_a.bandwidth_gbps;
+        let mut bw_b = solo_b.bandwidth_gbps;
+        let mut report_a = solo_a.clone();
+        let mut report_b = solo_b.clone();
+        for _ in 0..COUPLING_ROUNDS {
+            report_a = engine_a.run_colocated(
+                self.window_insns,
+                self.profile_a.peak_utilization,
+                bw_b,
+                Some(share_a),
+            )?;
+            report_b = engine_b.run_colocated(
+                self.window_insns,
+                self.profile_b.peak_utilization,
+                bw_a,
+                Some(share_b),
+            )?;
+            bw_a = report_a.bandwidth_gbps;
+            bw_b = report_b.bandwidth_gbps;
+        }
+
+        Ok(ColocationOutcome {
+            mips_a: report_a.mips_total,
+            mips_b: report_b.mips_total,
+            retention_a: report_a.mips_total / solo_a.mips_total.max(1e-9),
+            retention_b: report_b.mips_total / solo_b.mips_total.max(1e-9),
+            socket_mem_utilization: report_a.mem_utilization.max(report_b.mem_utilization),
+        })
+    }
+
+    fn partition_config(&self, profile: &WorkloadProfile, cores: u32) -> ServerConfig {
+        let mut cfg = profile.production_config.clone();
+        cfg.active_cores = cores;
+        cfg
+    }
+}
+
+/// One scheduler decision: which two services share each of two servers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pairing {
+    /// Services on server 1.
+    pub server1: (Microservice, Microservice),
+    /// Services on server 2.
+    pub server2: (Microservice, Microservice),
+    /// Sum of the four normalized throughputs (max 4.0).
+    pub total_retention: f64,
+}
+
+/// The µSKU-aware scheduler demo: places four services onto two identical
+/// servers (half the cores each) and returns the pairing with the highest
+/// total retention. Services must all support `platform`.
+///
+/// # Errors
+///
+/// Workload or engine errors.
+pub fn best_pairing(
+    services: [Microservice; 4],
+    window_insns: u64,
+    seed: u64,
+) -> Result<Pairing, ClusterError> {
+    let profiles: Vec<WorkloadProfile> = services
+        .iter()
+        .map(|s| s.profile(s.default_platform()))
+        .collect::<Result<_, _>>()?;
+    // All three distinct ways to split {0,1,2,3} into two pairs.
+    let splits = [((0, 1), (2, 3)), ((0, 2), (1, 3)), ((0, 3), (1, 2))];
+    let mut best: Option<Pairing> = None;
+    for ((a1, a2), (b1, b2)) in splits {
+        let score_pair = |x: usize, y: usize| -> Result<f64, ClusterError> {
+            let plat = profiles[x].production_config.platform.clone();
+            let half = plat.total_cores() / 2;
+            let pair = ColocatedPair::new(
+                profiles[x].clone(),
+                profiles[y].clone(),
+                half,
+                half,
+                window_insns,
+                seed,
+            )?;
+            Ok(pair.evaluate()?.total_retention())
+        };
+        let total = score_pair(a1, a2)? + score_pair(b1, b2)?;
+        let candidate = Pairing {
+            server1: (services[a1], services[a2]),
+            server2: (services[b1], services[b2]),
+            total_retention: total,
+        };
+        if best.as_ref().is_none_or(|b| total > b.total_retention) {
+            best = Some(candidate);
+        }
+    }
+    Ok(best.expect("three candidate splits evaluated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsku_workloads::PlatformKind;
+
+    const WINDOW: u64 = 80_000;
+
+    fn profile(s: Microservice) -> WorkloadProfile {
+        s.profile(s.default_platform()).unwrap()
+    }
+
+    #[test]
+    fn colocation_costs_throughput() {
+        let pair = ColocatedPair::new(
+            profile(Microservice::Web),
+            profile(Microservice::Feed1),
+            9,
+            9,
+            WINDOW,
+            3,
+        )
+        .unwrap();
+        let out = pair.evaluate().unwrap();
+        assert!(out.retention_a < 1.0, "Web must feel Feed1: {}", out.retention_a);
+        assert!(out.retention_b < 1.0, "Feed1 must feel Web: {}", out.retention_b);
+        assert!(out.retention_a > 0.4 && out.retention_b > 0.4, "{out:?}");
+    }
+
+    #[test]
+    fn bandwidth_heavy_pairs_hurt_more_than_light_ones() {
+        // Web + Feed1 are both bandwidth-hungry; Feed2 is light. Pairing Web
+        // with Feed2 must retain more total throughput per service than
+        // pairing Web with Feed1.
+        let heavy = ColocatedPair::new(
+            profile(Microservice::Web),
+            profile(Microservice::Feed1),
+            9,
+            9,
+            WINDOW,
+            5,
+        )
+        .unwrap()
+        .evaluate()
+        .unwrap();
+        let light = ColocatedPair::new(
+            profile(Microservice::Web),
+            profile(Microservice::Feed2),
+            9,
+            9,
+            WINDOW,
+            5,
+        )
+        .unwrap()
+        .evaluate()
+        .unwrap();
+        assert!(
+            light.retention_a > heavy.retention_a,
+            "Web retains more next to Feed2 ({:.3}) than next to Feed1 ({:.3})",
+            light.retention_a,
+            heavy.retention_a
+        );
+    }
+
+    #[test]
+    fn mismatched_platforms_rejected() {
+        let err = ColocatedPair::new(
+            profile(Microservice::Web),
+            profile(Microservice::Cache1), // Skylake20
+            8,
+            8,
+            WINDOW,
+            1,
+        );
+        assert!(err.is_err());
+
+        let too_many = ColocatedPair::new(
+            profile(Microservice::Web),
+            profile(Microservice::Feed1),
+            10,
+            10,
+            WINDOW,
+            1,
+        );
+        assert!(too_many.is_err(), "18-core platform cannot host 20 cores");
+    }
+
+    #[test]
+    fn scheduler_returns_the_optimal_split() {
+        let services = [
+            Microservice::Web,
+            Microservice::Feed1,
+            Microservice::Feed2,
+            Microservice::Ads1,
+        ];
+        let pairing = best_pairing(services, WINDOW, 7).unwrap();
+        assert!(pairing.total_retention > 2.0, "{pairing:?}");
+        assert!(pairing.total_retention <= 4.0 + 1e-9);
+
+        // Verify optimality against an explicitly enumerated alternative:
+        // every pair the scheduler could have formed scores at most the
+        // winner's per-server average.
+        let score = |x: Microservice, y: Microservice| {
+            let pa = profile(x);
+            let pb = profile(y);
+            let half = pa.production_config.platform.total_cores() / 2;
+            ColocatedPair::new(pa, pb, half, half, WINDOW, 7)
+                .unwrap()
+                .evaluate()
+                .unwrap()
+                .total_retention()
+        };
+        let splits = [
+            ((0usize, 1usize), (2usize, 3usize)),
+            ((0, 2), (1, 3)),
+            ((0, 3), (1, 2)),
+        ];
+        let best_total = splits
+            .iter()
+            .map(|&((a, b), (c, d))| {
+                score(services[a], services[b]) + score(services[c], services[d])
+            })
+            .fold(f64::MIN, f64::max);
+        assert!(
+            (pairing.total_retention - best_total).abs() < 1e-6,
+            "scheduler total {:.4} vs enumerated best {:.4}",
+            pairing.total_retention,
+            best_total
+        );
+        let _ = PlatformKind::Skylake18;
+    }
+}

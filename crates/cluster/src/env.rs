@@ -1,0 +1,429 @@
+//! The production A/B environment µSKU drives.
+//!
+//! The paper's A/B tester "conducts A/B tests by comparing the performance of
+//! two identical servers (same hardware platform, same fleet, and facing the
+//! same load) that differ only in their knob configuration" (Sec. 4).
+//! [`AbEnvironment`] provides exactly that: two [`SimServer`] arms fed the
+//! same diurnal load with small per-arm imbalance, an EMON-like noisy
+//! measurement channel, and a Poisson code-push process that perturbs both
+//! arms — the statistical reality µSKU's confidence machinery exists for.
+
+use crate::error::ClusterError;
+use crate::server::SimServer;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use softsku_archsim::engine::ServerConfig;
+use softsku_telemetry::emon::{EventSample, EventSet, MultiplexedSampler, SamplerConfig};
+use softsku_workloads::loadgen::{CodeEvolution, LoadGenerator};
+use softsku_workloads::WorkloadProfile;
+
+/// Which arm of the A/B pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arm {
+    /// The baseline arm (production or previously-selected configuration).
+    A,
+    /// The candidate arm.
+    B,
+}
+
+/// One noisy throughput measurement of both arms under common load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairSample {
+    /// Measured MIPS of arm A.
+    pub a_mips: f64,
+    /// Measured MIPS of arm B.
+    pub b_mips: f64,
+    /// Load fraction both arms faced.
+    pub load: f64,
+    /// Simulated timestamp (seconds).
+    pub time_s: f64,
+}
+
+/// Configuration for an [`AbEnvironment`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnvConfig {
+    /// Spacing between successive samples, seconds (µSKU spaces samples "to
+    /// ensure independence").
+    pub sample_spacing_s: f64,
+    /// Relative EMON measurement noise per sample.
+    pub measurement_noise: f64,
+    /// Per-arm load-imbalance noise (two machines never see identical load).
+    pub arm_imbalance: f64,
+    /// Diurnal amplitude of the common load.
+    pub diurnal_amplitude: f64,
+    /// AR(1) common-load noise.
+    pub load_noise: f64,
+    /// Mean code pushes per hour.
+    pub pushes_per_hour: f64,
+    /// Engine window per evaluation (smaller for tests).
+    pub window_insns: u64,
+    /// Seconds of downtime incurred by a reboot-requiring reconfiguration.
+    pub reboot_cost_s: f64,
+}
+
+impl Default for EnvConfig {
+    fn default() -> Self {
+        EnvConfig {
+            sample_spacing_s: 30.0,
+            measurement_noise: 0.004,
+            arm_imbalance: 0.010,
+            diurnal_amplitude: 0.12,
+            load_noise: 0.02,
+            pushes_per_hour: 0.2,
+            window_insns: SimServer::DEFAULT_WINDOW,
+            reboot_cost_s: 300.0,
+        }
+    }
+}
+
+impl EnvConfig {
+    /// A fast, low-noise configuration for unit tests.
+    pub fn fast_test() -> Self {
+        EnvConfig {
+            sample_spacing_s: 30.0,
+            measurement_noise: 0.002,
+            arm_imbalance: 0.004,
+            diurnal_amplitude: 0.05,
+            load_noise: 0.01,
+            pushes_per_hour: 0.0,
+            window_insns: 60_000,
+            reboot_cost_s: 60.0,
+        }
+    }
+}
+
+/// Two identical servers under common production traffic.
+#[derive(Debug)]
+pub struct AbEnvironment {
+    arm_a: SimServer,
+    arm_b: SimServer,
+    load: LoadGenerator,
+    evolution: CodeEvolution,
+    config: EnvConfig,
+    time_s: f64,
+    rng: SmallRng,
+    code_pushes_seen: u64,
+    /// EMON-like samplers: the MIPS channel reads the always-on fixed
+    /// counters; the architectural events are time-multiplexed.
+    sampler_a: MultiplexedSampler,
+    sampler_b: MultiplexedSampler,
+}
+
+/// The EMON event set µSKU programs: fixed counters for the throughput
+/// metric, programmable (multiplexed) slots for the architectural events the
+/// characterization reads.
+fn emon_events() -> EventSet {
+    EventSet::new()
+        .fixed("instructions")
+        .fixed("cycles")
+        .programmable("l1i_miss")
+        .programmable("l1d_miss")
+        .programmable("l2_code_miss")
+        .programmable("l2_data_miss")
+        .programmable("llc_code_miss")
+        .programmable("llc_data_miss")
+        .programmable("itlb_miss")
+        .programmable("dtlb_miss")
+        .programmable("branch_mispredicts")
+        .programmable("mem_lines")
+}
+
+impl AbEnvironment {
+    /// Builds an environment for `profile`, both arms starting in the
+    /// production configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server construction errors.
+    pub fn new(
+        profile: WorkloadProfile,
+        config: EnvConfig,
+        seed: u64,
+    ) -> Result<Self, ClusterError> {
+        let prod = profile.production_config.clone();
+        // Both arms share the engine seed: the paper's arms are "identical
+        // servers", and a per-arm simulation-sampling bias would masquerade
+        // as a knob effect. Arm differences come from the (seeded) load
+        // imbalance and measurement noise only.
+        let arm_a = SimServer::with_window(profile.clone(), prod.clone(), seed, config.window_insns)?;
+        let arm_b = SimServer::with_window(profile, prod, seed, config.window_insns)?;
+        let sampler_cfg = SamplerConfig {
+            programmable_slots: 4,
+            base_noise_rel: config.measurement_noise,
+            seed: seed ^ 0xE301,
+        };
+        let sampler_a = MultiplexedSampler::new(emon_events(), sampler_cfg)
+            .expect("static event set is valid");
+        let sampler_b = MultiplexedSampler::new(
+            emon_events(),
+            SamplerConfig {
+                seed: seed ^ 0xE302,
+                ..sampler_cfg
+            },
+        )
+        .expect("static event set is valid");
+        Ok(AbEnvironment {
+            arm_a,
+            arm_b,
+            load: LoadGenerator::new(
+                0.85,
+                config.diurnal_amplitude,
+                86_400.0,
+                config.load_noise,
+                seed ^ 0x10AD,
+            ),
+            evolution: CodeEvolution::new(config.pushes_per_hour, 0.01, seed ^ 0xC0DE),
+            config,
+            time_s: 0.0,
+            rng: SmallRng::seed_from_u64(seed ^ 0xE940),
+            code_pushes_seen: 0,
+            sampler_a,
+            sampler_b,
+        })
+    }
+
+    /// The workload under test.
+    pub fn profile(&self) -> &WorkloadProfile {
+        self.arm_a.profile()
+    }
+
+    /// Current simulated time (seconds).
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    /// Number of code pushes that have landed so far.
+    pub fn code_pushes_seen(&self) -> u64 {
+        self.code_pushes_seen
+    }
+
+    /// Reconfigures one arm; a reboot-requiring change costs simulated time
+    /// and is rejected for reboot-intolerant services.
+    ///
+    /// # Errors
+    ///
+    /// [`ClusterError::RebootNotTolerated`] or engine validation errors.
+    pub fn reconfigure(
+        &mut self,
+        arm: Arm,
+        config: ServerConfig,
+        needs_reboot: bool,
+    ) -> Result<(), ClusterError> {
+        let server = match arm {
+            Arm::A => &mut self.arm_a,
+            Arm::B => &mut self.arm_b,
+        };
+        server.reconfigure(config, needs_reboot)?;
+        if needs_reboot {
+            self.time_s += self.config.reboot_cost_s;
+        }
+        Ok(())
+    }
+
+    /// The configuration of an arm.
+    pub fn arm_config(&self, arm: Arm) -> &ServerConfig {
+        match arm {
+            Arm::A => self.arm_a.config(),
+            Arm::B => self.arm_b.config(),
+        }
+    }
+
+    /// Direct (non-noisy) access to an arm, for validation measurements.
+    pub fn arm_mut(&mut self, arm: Arm) -> &mut SimServer {
+        match arm {
+            Arm::A => &mut self.arm_a,
+            Arm::B => &mut self.arm_b,
+        }
+    }
+
+    /// Advances time and takes one noisy paired MIPS measurement.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors on first evaluation of a new configuration.
+    pub fn sample_pair(&mut self) -> Result<PairSample, ClusterError> {
+        self.time_s += self.config.sample_spacing_s;
+        // Code pushes land on both arms simultaneously (fleet-wide deploy).
+        while let Some(push) = self.evolution.push_before(self.time_s) {
+            self.arm_a.apply_code_push(push);
+            self.arm_b.apply_code_push(push);
+            self.code_pushes_seen += 1;
+        }
+        let load = self.load.load_at(self.time_s);
+        let la = (load * (1.0 + self.config.arm_imbalance * self.gaussian())).clamp(0.05, 1.2);
+        let lb = (load * (1.0 + self.config.arm_imbalance * self.gaussian())).clamp(0.05, 1.2);
+        // The MIPS channel reads the fixed "instructions" counter through
+        // the EMON-like sampler (measurement noise lives there).
+        let true_a = self.arm_a.mips(la)?;
+        let true_b = self.arm_b.mips(lb)?;
+        let ma = fixed_counter(&mut self.sampler_a, "instructions", true_a);
+        let mb = fixed_counter(&mut self.sampler_b, "instructions", true_b);
+        Ok(PairSample {
+            a_mips: ma,
+            b_mips: mb,
+            load,
+            time_s: self.time_s,
+        })
+    }
+
+    /// One full EMON rotation over an arm's architectural counters at the
+    /// current load: fixed counters exact-ish, programmable ones multiplexed
+    /// and noisier (paper Sec. 2.2's measurement methodology).
+    ///
+    /// # Errors
+    ///
+    /// Engine errors on first evaluation of a new configuration.
+    pub fn counter_rotation(&mut self, arm: Arm) -> Result<Vec<EventSample>, ClusterError> {
+        let load = self.load.load_at(self.time_s);
+        let report = {
+            let server = self.arm_mut(arm);
+            let _ = server.mips(load)?; // ensure the curve exists
+            server.peak_report()?
+        };
+        let window_s = report.counters.cycles / (report.effective_core_freq_ghz * 1e9);
+        let events = report.counters.event_map();
+        let sampler = match arm {
+            Arm::A => &mut self.sampler_a,
+            Arm::B => &mut self.sampler_b,
+        };
+        Ok(sampler.sample_rotation(|name| {
+            events.get(name).copied().unwrap_or(0.0) / window_s.max(1e-12)
+        }))
+    }
+
+    /// QPS of an arm at the current mean load (the ODS-style fleet metric
+    /// used for long-horizon validation).
+    ///
+    /// # Errors
+    ///
+    /// Engine errors on first evaluation of a new configuration.
+    pub fn qps_now(&mut self, arm: Arm) -> Result<f64, ClusterError> {
+        let load = self.load.load_at(self.time_s);
+        self.arm_mut(arm).qps(load)
+    }
+
+    /// Whether an arm currently satisfies QoS at peak load.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors on first evaluation of a new configuration.
+    pub fn qos_ok(&mut self, arm: Arm) -> Result<bool, ClusterError> {
+        self.arm_mut(arm).qos_ok(1.0)
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// Reads one fixed counter through the sampler.
+fn fixed_counter(sampler: &mut MultiplexedSampler, name: &str, truth: f64) -> f64 {
+    sampler
+        .sample_rotation(|event| if event == name { truth } else { 0.0 })
+        .into_iter()
+        .find(|s| s.event == name)
+        .map(|s| s.value)
+        .unwrap_or(truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsku_archsim::platform::PlatformKind;
+    use softsku_workloads::Microservice;
+
+    fn env() -> AbEnvironment {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        AbEnvironment::new(profile, EnvConfig::fast_test(), 11).unwrap()
+    }
+
+    #[test]
+    fn identical_arms_have_small_mean_difference() {
+        let mut e = env();
+        let mut diff = 0.0;
+        let mut mean = 0.0;
+        let n = 300;
+        for _ in 0..n {
+            let s = e.sample_pair().unwrap();
+            diff += s.a_mips - s.b_mips;
+            mean += s.a_mips;
+        }
+        let rel = (diff / n as f64).abs() / (mean / n as f64);
+        assert!(rel < 0.005, "identical arms must match closely: {rel}");
+    }
+
+    #[test]
+    fn better_config_shows_up_in_samples() {
+        let mut e = env();
+        // Arm B gets a clearly slower configuration.
+        let mut slow = e.arm_config(Arm::B).clone();
+        slow.core_freq_ghz = 1.6;
+        e.reconfigure(Arm::B, slow, false).unwrap();
+        let mut a = 0.0;
+        let mut b = 0.0;
+        for _ in 0..200 {
+            let s = e.sample_pair().unwrap();
+            a += s.a_mips;
+            b += s.b_mips;
+        }
+        assert!(a > b * 1.05, "a {a} vs b {b}");
+    }
+
+    #[test]
+    fn samples_are_noisy() {
+        let mut e = env();
+        let xs: Vec<f64> = (0..100).map(|_| e.sample_pair().unwrap().a_mips).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+        assert!(var.sqrt() / mean > 0.001, "noise must be present");
+    }
+
+    #[test]
+    fn time_advances_and_reboot_costs_time() {
+        let mut e = env();
+        let t0 = e.time_s();
+        e.sample_pair().unwrap();
+        assert!(e.time_s() > t0);
+        let cfg = e.arm_config(Arm::B).clone();
+        let before = e.time_s();
+        e.reconfigure(Arm::B, cfg, true).unwrap();
+        assert!(e.time_s() >= before + 60.0);
+    }
+
+    #[test]
+    fn code_pushes_land_when_enabled() {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let mut cfg = EnvConfig::fast_test();
+        cfg.pushes_per_hour = 30.0;
+        cfg.sample_spacing_s = 120.0;
+        let mut e = AbEnvironment::new(profile, cfg, 3).unwrap();
+        for _ in 0..60 {
+            e.sample_pair().unwrap();
+        }
+        assert!(e.code_pushes_seen() > 10);
+    }
+
+    #[test]
+    fn counter_rotation_reports_multiplexed_events() {
+        let mut e = env();
+        let samples = e.counter_rotation(Arm::A).unwrap();
+        assert!(samples.iter().any(|s| s.event == "instructions" && s.dwell_fraction == 1.0));
+        let mux: Vec<_> = samples.iter().filter(|s| s.dwell_fraction < 1.0).collect();
+        assert!(mux.len() >= 8, "architectural events are multiplexed");
+        for s in &samples {
+            assert!(s.value >= 0.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let mut e1 = AbEnvironment::new(profile.clone(), EnvConfig::fast_test(), 9).unwrap();
+        let mut e2 = AbEnvironment::new(profile, EnvConfig::fast_test(), 9).unwrap();
+        for _ in 0..20 {
+            assert_eq!(e1.sample_pair().unwrap(), e2.sample_pair().unwrap());
+        }
+    }
+}

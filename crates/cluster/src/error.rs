@@ -1,0 +1,87 @@
+//! Error type for the cluster substrate.
+
+use softsku_archsim::ArchSimError;
+use softsku_workloads::WorkloadError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the simulated fleet.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The simulator rejected a configuration.
+    Sim(ArchSimError),
+    /// The workload model could not be built.
+    Workload(WorkloadError),
+    /// A reconfiguration required a reboot the service cannot tolerate on
+    /// live traffic (paper Sec. 4: µSKU disables such knobs).
+    RebootNotTolerated {
+        /// Service name.
+        service: String,
+    },
+    /// A configuration was rejected because it violates the service's QoS
+    /// (latency above the SLO ceiling at the operating load).
+    QosViolation {
+        /// Modeled request latency in seconds.
+        latency_s: f64,
+        /// The SLO ceiling in seconds.
+        limit_s: f64,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Sim(e) => write!(f, "simulator rejected configuration: {e}"),
+            ClusterError::Workload(e) => write!(f, "workload model error: {e}"),
+            ClusterError::RebootNotTolerated { service } => {
+                write!(f, "{service} cannot tolerate a live-traffic reboot")
+            }
+            ClusterError::QosViolation { latency_s, limit_s } => {
+                write!(f, "qos violation: latency {latency_s:.6}s exceeds SLO {limit_s:.6}s")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ClusterError::Sim(e) => Some(e),
+            ClusterError::Workload(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchSimError> for ClusterError {
+    fn from(e: ArchSimError) -> Self {
+        ClusterError::Sim(e)
+    }
+}
+
+impl From<WorkloadError> for ClusterError {
+    fn from(e: WorkloadError) -> Self {
+        ClusterError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = ClusterError::from(ArchSimError::FixedPointDiverged { iterations: 1 });
+        assert!(Error::source(&e).is_some());
+        let q = ClusterError::QosViolation {
+            latency_s: 0.2,
+            limit_s: 0.1,
+        };
+        assert!(q.to_string().contains("qos"));
+        let r = ClusterError::RebootNotTolerated {
+            service: "Cache1".into(),
+        };
+        assert!(r.to_string().contains("Cache1"));
+    }
+}

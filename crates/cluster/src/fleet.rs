@@ -1,0 +1,191 @@
+//! Fleet-scale soft-SKU validation.
+//!
+//! After µSKU composes a soft SKU, the paper validates it "by comparing the
+//! QPS achieved (via ODS) by soft-SKU servers against hand-tuned production
+//! servers for prolonged durations (including across code updates and under
+//! diurnal load)" (Sec. 4). [`ValidationFleet`] runs that experiment: two
+//! server groups under common diurnal load and a shared code-push process,
+//! streaming per-group QPS into the ODS time-series store.
+
+use crate::error::ClusterError;
+use crate::server::SimServer;
+use softsku_archsim::engine::ServerConfig;
+use softsku_telemetry::{Ods, SeriesKey};
+use softsku_workloads::loadgen::{CodeEvolution, LoadGenerator};
+use softsku_workloads::WorkloadProfile;
+
+/// Result of a long-horizon QPS comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationOutcome {
+    /// Mean QPS of the candidate (soft-SKU) group.
+    pub candidate_qps: f64,
+    /// Mean QPS of the baseline (hand-tuned) group.
+    pub baseline_qps: f64,
+    /// Relative gain of candidate over baseline.
+    pub relative_gain: f64,
+    /// Code pushes that landed during validation.
+    pub code_pushes: u64,
+    /// Whether the gain held in every daily bucket (stability check).
+    pub stable_across_days: bool,
+}
+
+/// Two server groups under common production traffic, feeding ODS.
+#[derive(Debug)]
+pub struct ValidationFleet {
+    baseline: SimServer,
+    candidate: SimServer,
+    load: LoadGenerator,
+    evolution: CodeEvolution,
+    ods: Ods,
+    time_s: f64,
+    tick_s: f64,
+}
+
+impl ValidationFleet {
+    /// Creates a fleet: `baseline_config` vs `candidate_config`, sampling
+    /// QPS every `tick_s` seconds of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates server construction errors.
+    pub fn new(
+        profile: WorkloadProfile,
+        baseline_config: ServerConfig,
+        candidate_config: ServerConfig,
+        window_insns: u64,
+        tick_s: f64,
+        seed: u64,
+    ) -> Result<Self, ClusterError> {
+        // Both groups share the engine seed (identical hardware); see the
+        // same-seed rationale in `AbEnvironment::new`.
+        let baseline =
+            SimServer::with_window(profile.clone(), baseline_config, seed, window_insns)?;
+        let candidate = SimServer::with_window(profile, candidate_config, seed, window_insns)?;
+        Ok(ValidationFleet {
+            baseline,
+            candidate,
+            load: LoadGenerator::new(0.85, 0.15, 86_400.0, 0.02, seed ^ 0x0D5),
+            evolution: CodeEvolution::new(0.25, 0.01, seed ^ 0xBEEF),
+            ods: Ods::new(),
+            time_s: 0.0,
+            tick_s: tick_s.max(1.0),
+        })
+    }
+
+    /// Runs the fleet for `duration_s` of simulated time and returns the
+    /// comparison outcome.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors on configuration evaluation.
+    pub fn run(&mut self, duration_s: f64) -> Result<ValidationOutcome, ClusterError> {
+        let base_key = SeriesKey::new("fleet.baseline", "qps");
+        let cand_key = SeriesKey::new("fleet.candidate", "qps");
+        let end = self.time_s + duration_s;
+        let mut pushes = 0u64;
+        while self.time_s < end {
+            self.time_s += self.tick_s;
+            while let Some(push) = self.evolution.push_before(self.time_s) {
+                self.baseline.apply_code_push(push);
+                self.candidate.apply_code_push(push);
+                pushes += 1;
+            }
+            let load = self.load.load_at(self.time_s);
+            let bq = self.baseline.qps(load)?;
+            let cq = self.candidate.qps(load)?;
+            self.ods
+                .append(&base_key, self.time_s, bq)
+                .expect("monotone fleet time");
+            self.ods
+                .append(&cand_key, self.time_s, cq)
+                .expect("monotone fleet time");
+        }
+        let start = end - duration_s;
+        let baseline_qps = self
+            .ods
+            .mean_in(&base_key, start, end + 1.0)
+            .expect("series populated above");
+        let candidate_qps = self
+            .ods
+            .mean_in(&cand_key, start, end + 1.0)
+            .expect("series populated above");
+
+        // Daily-bucket stability: the win must not be an artifact of one
+        // load phase.
+        let day = 86_400.0;
+        let mut stable = true;
+        let mut t = start;
+        while t < end {
+            let hi = (t + day).min(end + 1.0);
+            if hi - t > day * 0.5 {
+                let b = self.ods.mean_in(&base_key, t, hi).unwrap_or(baseline_qps);
+                let c = self.ods.mean_in(&cand_key, t, hi).unwrap_or(candidate_qps);
+                if c < b * 0.998 {
+                    stable = false;
+                }
+            }
+            t += day;
+        }
+        Ok(ValidationOutcome {
+            candidate_qps,
+            baseline_qps,
+            relative_gain: candidate_qps / baseline_qps - 1.0,
+            code_pushes: pushes,
+            stable_across_days: stable,
+        })
+    }
+
+    /// Read access to the collected ODS series.
+    pub fn ods(&self) -> &Ods {
+        &self.ods
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsku_archsim::platform::PlatformKind;
+    use softsku_workloads::Microservice;
+
+    #[test]
+    fn better_candidate_wins_over_days() {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let baseline = profile.production_config.clone();
+        let mut candidate = baseline.clone();
+        candidate.shp_pages = 300; // the Fig. 18b sweet spot
+        let mut fleet =
+            ValidationFleet::new(profile, baseline, candidate, 50_000, 3600.0, 4).unwrap();
+        let out = fleet.run(2.0 * 86_400.0).unwrap();
+        assert!(
+            out.relative_gain > 0.01,
+            "300-SHP candidate should win: {:+.2}%",
+            out.relative_gain * 100.0
+        );
+        assert!(out.stable_across_days, "gain must persist across days");
+        assert!(fleet.ods().series_count() == 2);
+    }
+
+    #[test]
+    fn identical_groups_tie() {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let cfg = profile.production_config.clone();
+        let mut fleet =
+            ValidationFleet::new(profile, cfg.clone(), cfg, 50_000, 5400.0, 9).unwrap();
+        let out = fleet.run(86_400.0).unwrap();
+        assert!(
+            out.relative_gain.abs() < 0.002,
+            "identical groups: {:+.3}%",
+            out.relative_gain * 100.0
+        );
+    }
+
+    #[test]
+    fn code_pushes_are_counted() {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let cfg = profile.production_config.clone();
+        let mut fleet =
+            ValidationFleet::new(profile, cfg.clone(), cfg, 50_000, 5400.0, 2).unwrap();
+        let out = fleet.run(2.0 * 86_400.0).unwrap();
+        assert!(out.code_pushes > 3, "pushes {}", out.code_pushes);
+    }
+}

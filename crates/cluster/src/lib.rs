@@ -1,0 +1,45 @@
+//! Simulated production fleet for the SoftSKU reproduction.
+//!
+//! µSKU runs against live production servers; this crate is the stand-in:
+//!
+//! * [`server::SimServer`] — one server (workload × platform × knob config)
+//!   exposing MIPS/QPS/latency/QoS with cached engine evaluations.
+//! * [`env::AbEnvironment`] — the two-arm A/B substrate with common diurnal
+//!   load, per-arm imbalance, EMON-grade measurement noise, reboot costs,
+//!   and fleet-wide code pushes.
+//! * [`fleet::ValidationFleet`] — the long-horizon ODS-backed QPS comparison
+//!   the soft-SKU generator uses to confirm a deployed configuration's win.
+//! * [`colocation`] — the paper's Sec. 7 future-work extension: two services
+//!   sharing a socket (coupled LLC + memory queue) and a µSKU-aware pairing
+//!   scheduler.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use softsku_cluster::env::{AbEnvironment, Arm, EnvConfig};
+//! use softsku_workloads::{Microservice, PlatformKind};
+//!
+//! # fn main() -> Result<(), softsku_cluster::ClusterError> {
+//! let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+//! let mut env = AbEnvironment::new(profile, EnvConfig::default(), 42)?;
+//! let sample = env.sample_pair()?;
+//! assert!(sample.a_mips > 0.0 && sample.b_mips > 0.0);
+//! # let _ = Arm::A;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod colocation;
+pub mod env;
+pub mod error;
+pub mod fleet;
+pub mod server;
+
+pub use colocation::{best_pairing, ColocatedPair, ColocationOutcome, Pairing};
+pub use env::{AbEnvironment, Arm, EnvConfig, PairSample};
+pub use error::ClusterError;
+pub use fleet::{ValidationFleet, ValidationOutcome};
+pub use server::SimServer;

@@ -1,0 +1,349 @@
+//! The A/B tester (paper Sec. 4, Fig. 13).
+//!
+//! For each point of the sweep, the tester applies the knob setting to the
+//! candidate arm, discards a warm-up phase "to avoid cold start bias",
+//! records spaced performance samples, and stops when 95 % confidence is
+//! achieved — or gives up after ~30 000 observations and declares no
+//! statistically significant difference. QoS-violating settings are
+//! discarded, and reboot-requiring settings are skipped for services that
+//! cannot tolerate them.
+
+use crate::error::UskuError;
+use crate::metric::PerformanceMetric;
+use softsku_cluster::{AbEnvironment, Arm, ClusterError};
+use softsku_knobs::KnobSetting;
+use softsku_telemetry::stats::{welch_test, RunningStats, Summary, WelchResult};
+
+/// Stopping rules for one A/B test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbTestConfig {
+    /// Warm-up samples discarded after a configuration change.
+    pub warmup_samples: usize,
+    /// Minimum samples per arm before any verdict.
+    pub min_samples: usize,
+    /// Sample budget; reaching it ⇒ "no statistically significant
+    /// difference" (the paper's ~30 000-observation rule).
+    pub max_samples: usize,
+    /// Confidence level for the Welch test (the paper uses 95 %).
+    pub confidence: f64,
+    /// Relative difference below which two settings are considered
+    /// practically indistinguishable even if statistically significant.
+    pub min_effect: f64,
+    /// How many samples between statistical checks.
+    pub batch: usize,
+}
+
+impl Default for AbTestConfig {
+    fn default() -> Self {
+        AbTestConfig {
+            warmup_samples: 12,
+            min_samples: 120,
+            max_samples: 30_000,
+            confidence: 0.95,
+            min_effect: 0.0015,
+            batch: 60,
+        }
+    }
+}
+
+impl AbTestConfig {
+    /// A small-budget configuration for unit tests.
+    pub fn fast_test() -> Self {
+        AbTestConfig {
+            warmup_samples: 4,
+            min_samples: 60,
+            max_samples: 2_000,
+            confidence: 0.95,
+            min_effect: 0.002,
+            batch: 30,
+        }
+    }
+}
+
+/// Outcome category of one A/B comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Verdict {
+    /// The candidate beats the baseline with statistical significance.
+    Better {
+        /// Relative gain of candidate over baseline.
+        gain: f64,
+    },
+    /// The candidate loses with statistical significance.
+    Worse {
+        /// Relative loss (negative value).
+        loss: f64,
+    },
+    /// No statistically significant difference within the sample budget.
+    NoDifference,
+    /// The setting violates the service's QoS and was discarded (paper
+    /// Sec. 7: "we discard parts of the µSKU tuning space that lead to
+    /// violations").
+    QosViolated,
+    /// The setting requires a reboot the service cannot tolerate.
+    SkippedRebootIntolerant,
+}
+
+impl Verdict {
+    /// Relative gain if positive and significant, else `None`.
+    pub fn gain(&self) -> Option<f64> {
+        match self {
+            Verdict::Better { gain } => Some(*gain),
+            _ => None,
+        }
+    }
+}
+
+/// Full record of one A/B test.
+#[derive(Debug, Clone)]
+pub struct AbTestResult {
+    /// The setting that was applied to the candidate arm.
+    pub setting: KnobSetting,
+    /// Baseline-arm sample summary.
+    pub baseline: Option<Summary>,
+    /// Candidate-arm sample summary.
+    pub candidate: Option<Summary>,
+    /// Welch test at stop time.
+    pub welch: Option<WelchResult>,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Samples collected per arm.
+    pub samples: usize,
+}
+
+impl AbTestResult {
+    /// Relative mean difference (candidate/baseline − 1) when measured.
+    pub fn relative_diff(&self) -> Option<f64> {
+        match (&self.baseline, &self.candidate) {
+            (Some(a), Some(b)) if a.mean() != 0.0 => Some(b.mean() / a.mean() - 1.0),
+            _ => None,
+        }
+    }
+}
+
+/// Runs A/B tests against an [`AbEnvironment`].
+#[derive(Debug)]
+pub struct AbTester {
+    config: AbTestConfig,
+    metric: PerformanceMetric,
+}
+
+impl AbTester {
+    /// Creates a tester with the given stopping rules and metric.
+    pub fn new(config: AbTestConfig, metric: PerformanceMetric) -> Self {
+        AbTester { config, metric }
+    }
+
+    /// The stopping rules in effect.
+    pub fn config(&self) -> &AbTestConfig {
+        &self.config
+    }
+
+    /// Tests `setting` applied on top of `baseline_config` against
+    /// `baseline_config` itself.
+    ///
+    /// The baseline arm (A) keeps `baseline_config`; the candidate arm (B)
+    /// gets `baseline_config + setting`. Both arms face the same traffic.
+    ///
+    /// # Errors
+    ///
+    /// Environment/engine errors. Invalid-but-expected situations (QoS
+    /// violation, reboot intolerance) are verdicts, not errors.
+    pub fn run(
+        &self,
+        env: &mut AbEnvironment,
+        baseline_config: &softsku_archsim::engine::ServerConfig,
+        setting: KnobSetting,
+    ) -> Result<AbTestResult, UskuError> {
+        // Build the candidate configuration.
+        let mut candidate_config = baseline_config.clone();
+        if let Err(e) = setting.apply(&mut candidate_config) {
+            // Platform-invalid settings are configurator bugs — surface them.
+            return Err(UskuError::Knob(e));
+        }
+        let needs_reboot = setting.knob().requires_reboot();
+        self.run_config(env, baseline_config, &candidate_config, needs_reboot, setting)
+    }
+
+    /// Tests an arbitrary whole candidate configuration against the baseline
+    /// (used by the exhaustive sweep and final soft-SKU validation). The
+    /// result is labelled with `label` for the design-space map.
+    ///
+    /// # Errors
+    ///
+    /// Environment/engine errors; QoS and reboot outcomes are verdicts.
+    pub fn run_config(
+        &self,
+        env: &mut AbEnvironment,
+        baseline_config: &softsku_archsim::engine::ServerConfig,
+        candidate_config: &softsku_archsim::engine::ServerConfig,
+        needs_reboot: bool,
+        label: KnobSetting,
+    ) -> Result<AbTestResult, UskuError> {
+        let setting = label;
+        // Reboot gating.
+        match env.reconfigure(Arm::B, candidate_config.clone(), needs_reboot) {
+            Ok(()) => {}
+            Err(ClusterError::RebootNotTolerated { .. }) => {
+                return Ok(AbTestResult {
+                    setting,
+                    baseline: None,
+                    candidate: None,
+                    welch: None,
+                    verdict: Verdict::SkippedRebootIntolerant,
+                    samples: 0,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        }
+        env.reconfigure(Arm::A, baseline_config.clone(), false)?;
+
+        // QoS guard before spending samples.
+        if !env.qos_ok(Arm::B)? {
+            return Ok(AbTestResult {
+                setting,
+                baseline: None,
+                candidate: None,
+                welch: None,
+                verdict: Verdict::QosViolated,
+                samples: 0,
+            });
+        }
+
+        // Warm-up discard.
+        for _ in 0..self.config.warmup_samples {
+            let _ = self.metric.sample(env)?;
+        }
+
+        let mut acc_a = RunningStats::new();
+        let mut acc_b = RunningStats::new();
+        loop {
+            for _ in 0..self.config.batch {
+                let (a, b) = self.metric.sample(env)?;
+                acc_a.push(a);
+                acc_b.push(b);
+            }
+            let n = acc_a.count() as usize;
+            if n < self.config.min_samples {
+                continue;
+            }
+            let sa = acc_a.summary()?;
+            let sb = acc_b.summary()?;
+            let w = welch_test(&sb, &sa); // candidate minus baseline
+            let rel = sb.mean() / sa.mean() - 1.0;
+            let significant = w.significant_at(self.config.confidence);
+
+            if significant && rel.abs() >= self.config.min_effect {
+                let verdict = if rel > 0.0 {
+                    Verdict::Better { gain: rel }
+                } else {
+                    Verdict::Worse { loss: rel }
+                };
+                return Ok(AbTestResult {
+                    setting,
+                    baseline: Some(sa),
+                    candidate: Some(sb),
+                    welch: Some(w),
+                    verdict,
+                    samples: n,
+                });
+            }
+
+            // Converged-to-equality check: the CI on the relative difference
+            // is narrower than the minimum effect we care about.
+            let (lo, hi) = w.diff_ci(&sb, &sa, self.config.confidence);
+            let half_rel = ((hi - lo) / 2.0 / sa.mean()).abs();
+            if half_rel < self.config.min_effect || n >= self.config.max_samples {
+                return Ok(AbTestResult {
+                    setting,
+                    baseline: Some(sa),
+                    candidate: Some(sb),
+                    welch: Some(w),
+                    verdict: Verdict::NoDifference,
+                    samples: n,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsku_cluster::EnvConfig;
+    use softsku_knobs::KnobSetting;
+    use softsku_workloads::{Microservice, PlatformKind};
+
+    fn env(service: Microservice, platform: PlatformKind, seed: u64) -> AbEnvironment {
+        let profile = service.profile(platform).unwrap();
+        AbEnvironment::new(profile, EnvConfig::fast_test(), seed).unwrap()
+    }
+
+    fn tester() -> AbTester {
+        AbTester::new(AbTestConfig::fast_test(), PerformanceMetric::Mips)
+    }
+
+    #[test]
+    fn clear_regression_is_detected_quickly() {
+        let mut e = env(Microservice::Web, PlatformKind::Skylake18, 3);
+        let base = e.profile().production_config.clone();
+        let r = tester()
+            .run(&mut e, &base, KnobSetting::CoreFrequencyGhz(1.6))
+            .unwrap();
+        match r.verdict {
+            Verdict::Worse { loss } => {
+                assert!(loss < -0.10, "1.6 GHz should lose >10%: {loss}");
+            }
+            other => panic!("expected Worse, got {other:?}"),
+        }
+        assert!(r.samples < 1000, "clear effects need few samples: {}", r.samples);
+    }
+
+    #[test]
+    fn identical_setting_converges_to_no_difference() {
+        let mut e = env(Microservice::Web, PlatformKind::Skylake18, 5);
+        let base = e.profile().production_config.clone();
+        // Re-apply the production core frequency: a true null effect.
+        let r = tester()
+            .run(&mut e, &base, KnobSetting::CoreFrequencyGhz(base.core_freq_ghz))
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::NoDifference, "diff {:?}", r.relative_diff());
+    }
+
+    #[test]
+    fn shp_improvement_is_detected() {
+        let mut e = env(Microservice::Web, PlatformKind::Skylake18, 7);
+        let base = e.profile().production_config.clone();
+        let r = tester()
+            .run(&mut e, &base, KnobSetting::ShpPages(300))
+            .unwrap();
+        match r.verdict {
+            Verdict::Better { gain } => assert!(gain > 0.02, "gain {gain}"),
+            other => panic!("expected Better, got {other:?} ({:?})", r.relative_diff()),
+        }
+    }
+
+    #[test]
+    fn reboot_intolerant_service_skips_reboot_knobs() {
+        let mut e = env(Microservice::Cache2, PlatformKind::Skylake18, 9);
+        let base = e.profile().production_config.clone();
+        let r = tester()
+            .run(&mut e, &base, KnobSetting::CoreCount(8))
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::SkippedRebootIntolerant);
+        assert_eq!(r.samples, 0);
+    }
+
+    #[test]
+    fn qos_violating_setting_is_discarded() {
+        // Cache fails QoS with a starved LLC (Fig. 10's exclusion); CAT is
+        // not a reboot knob, so it reaches the QoS guard.
+        let mut e = env(Microservice::Cache2, PlatformKind::Skylake18, 11);
+        let mut base = e.profile().production_config.clone();
+        base.llc_ways_enabled = 2;
+        // Probe via a no-reboot knob on the already-starved baseline.
+        let r = tester()
+            .run(&mut e, &base, KnobSetting::Thp(softsku_archsim::ThpMode::Madvise))
+            .unwrap();
+        assert_eq!(r.verdict, Verdict::QosViolated);
+    }
+}

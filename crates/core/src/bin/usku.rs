@@ -1,0 +1,73 @@
+//! µSKU command-line tool: reads a paper-style input file and runs the full
+//! pipeline.
+//!
+//! ```text
+//! usku path/to/input.usku [--fast] [--render-map]
+//! ```
+//!
+//! Input file format (paper Sec. 4):
+//!
+//! ```text
+//! microservice = web          # web|feed1|feed2|ads1|ads2|cache1|cache2
+//! platform     = skylake18    # skylake18|skylake20|broadwell16
+//! sweep        = independent  # independent|exhaustive|hill_climbing
+//! knobs        = cdp, thp     # optional subset
+//! metric       = mips         # mips|qps
+//! seed         = 42
+//! ```
+
+use usku::{InputFile, Usku, UskuConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let render_map = args.iter().any(|a| a == "--render-map");
+    let paths: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    let Some(path) = paths.first() else {
+        eprintln!("usage: usku <input-file> [--fast] [--render-map]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("usku: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let input = match InputFile::parse(&text) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("usku: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = if fast {
+        let mut c = UskuConfig::fast_test();
+        c.validate_days = 1.0;
+        c
+    } else {
+        UskuConfig::default()
+    };
+    eprintln!(
+        "usku: tuning {} on {} ({} sweep){}",
+        input.microservice,
+        input.platform,
+        input.sweep,
+        if fast { " [fast budgets]" } else { "" }
+    );
+    match Usku::with_config(input, config).run() {
+        Ok(report) => {
+            println!("{}", report.render());
+            if render_map {
+                println!("{}", report.map.render());
+            }
+        }
+        Err(e) => {
+            eprintln!("usku: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type for µSKU.
+
+use softsku_cluster::ClusterError;
+use softsku_knobs::KnobError;
+use softsku_telemetry::TelemetryError;
+use softsku_workloads::WorkloadError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the µSKU tool.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum UskuError {
+    /// The input file could not be parsed.
+    InputParse {
+        /// 1-based line number of the offending line (0 = file-level).
+        line: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The requested workload/platform combination is invalid.
+    Workload(WorkloadError),
+    /// A knob operation failed.
+    Knob(KnobError),
+    /// The production environment failed.
+    Cluster(ClusterError),
+    /// A statistics routine failed.
+    Stats(TelemetryError),
+    /// The A/B tester could not collect any valid sample for a setting.
+    NoSamples {
+        /// The knob setting under test.
+        setting: String,
+    },
+}
+
+impl fmt::Display for UskuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UskuError::InputParse { line, detail } => {
+                if *line == 0 {
+                    write!(f, "input file: {detail}")
+                } else {
+                    write!(f, "input file line {line}: {detail}")
+                }
+            }
+            UskuError::Workload(e) => write!(f, "workload: {e}"),
+            UskuError::Knob(e) => write!(f, "knob: {e}"),
+            UskuError::Cluster(e) => write!(f, "cluster: {e}"),
+            UskuError::Stats(e) => write!(f, "statistics: {e}"),
+            UskuError::NoSamples { setting } => {
+                write!(f, "no valid samples collected for setting {setting}")
+            }
+        }
+    }
+}
+
+impl Error for UskuError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            UskuError::Workload(e) => Some(e),
+            UskuError::Knob(e) => Some(e),
+            UskuError::Cluster(e) => Some(e),
+            UskuError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WorkloadError> for UskuError {
+    fn from(e: WorkloadError) -> Self {
+        UskuError::Workload(e)
+    }
+}
+
+impl From<KnobError> for UskuError {
+    fn from(e: KnobError) -> Self {
+        UskuError::Knob(e)
+    }
+}
+
+impl From<ClusterError> for UskuError {
+    fn from(e: ClusterError) -> Self {
+        UskuError::Cluster(e)
+    }
+}
+
+impl From<TelemetryError> for UskuError {
+    fn from(e: TelemetryError) -> Self {
+        UskuError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = UskuError::InputParse {
+            line: 3,
+            detail: "unknown key".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        let e = UskuError::InputParse {
+            line: 0,
+            detail: "empty".into(),
+        };
+        assert!(!e.to_string().contains("line 0"));
+        let e = UskuError::NoSamples {
+            setting: "300 SHPs".into(),
+        };
+        assert!(e.to_string().contains("300 SHPs"));
+    }
+}

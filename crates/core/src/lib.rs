@@ -1,0 +1,63 @@
+//! µSKU: an automated design tool for microservice-specific *soft* server
+//! SKUs — the primary contribution of "SoftSKU: Optimizing Server
+//! Architectures for Microservice Diversity @Scale" (ISCA 2019).
+//!
+//! Data-center operators keep hardware SKU diversity low for fungibility and
+//! procurement reasons, yet microservices have wildly diverse bottlenecks.
+//! µSKU bridges the gap by tuning seven coarse-grain configuration knobs
+//! (core/uncore frequency, core count, LLC code/data prioritization,
+//! prefetchers, THP, SHP) per microservice via automated A/B testing on
+//! production traffic, with statistical confidence tests that can detect
+//! single-digit-percent effects under noise.
+//!
+//! Pipeline (paper Fig. 13):
+//!
+//! 1. [`input::InputFile`] — the three-parameter input file.
+//! 2. [`usku::AbTestConfigurator`] — resolves the knob space and sweep plan.
+//! 3. [`abtest::AbTester`] — warm-up discard, spaced noisy samples, Welch
+//!    95 % tests, ~30 k-sample give-up, QoS and reboot gating.
+//! 4. [`map::DesignSpaceMap`] — per-knob results and winners.
+//! 5. [`generator::SoftSkuGenerator`] — composes winners, measures the
+//!    composite vs stock and production, and validates the deployment at
+//!    fleet scale via ODS-style QPS comparison.
+//!
+//! Extensions from the paper's Sec. 7 are included: exhaustive and
+//! hill-climbing searches ([`search`]), a QPS metric for services where
+//! MIPS is invalid ([`metric`]), and a perf-per-watt objective
+//! ([`objective`]).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use usku::{InputFile, Usku};
+//!
+//! let input = InputFile::parse(
+//!     "microservice = web\nplatform = skylake18\nsweep = independent\n",
+//! )?;
+//! let report = Usku::new(input).run()?;
+//! println!("{}", report.render());
+//! # Ok::<(), usku::UskuError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abtest;
+pub mod error;
+pub mod generator;
+pub mod input;
+pub mod map;
+pub mod metric;
+pub mod objective;
+pub mod search;
+pub mod usku;
+
+pub use abtest::{AbTestConfig, AbTestResult, AbTester, Verdict};
+pub use error::UskuError;
+pub use generator::{SoftSku, SoftSkuGenerator};
+pub use input::{InputFile, SweepConfig};
+pub use map::DesignSpaceMap;
+pub use metric::PerformanceMetric;
+pub use objective::{Objective, PowerModel};
+pub use search::{exhaustive_sweep, hill_climb, independent_sweep, SearchOutcome};
+pub use usku::{AbTestConfigurator, Usku, UskuConfig, UskuReport};

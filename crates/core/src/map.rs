@@ -1,0 +1,191 @@
+//! The design-space map (paper Sec. 4).
+//!
+//! "When the desired 95 % statistical confidence is achieved, the A/B tester
+//! outputs mean estimates, which it records in a design space map. … The
+//! final design space map helps identify (with a 95 % confidence) the most
+//! performant knob configurations."
+
+use crate::abtest::{AbTestResult, Verdict};
+use softsku_knobs::{Knob, KnobSetting};
+use std::collections::BTreeMap;
+
+/// All A/B results for one experiment, organized per knob.
+#[derive(Debug, Default)]
+pub struct DesignSpaceMap {
+    per_knob: BTreeMap<Knob, Vec<AbTestResult>>,
+}
+
+impl DesignSpaceMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one A/B result.
+    pub fn record(&mut self, result: AbTestResult) {
+        self.per_knob
+            .entry(result.setting.knob())
+            .or_default()
+            .push(result);
+    }
+
+    /// Knobs with at least one recorded result.
+    pub fn knobs(&self) -> impl Iterator<Item = Knob> + '_ {
+        self.per_knob.keys().copied()
+    }
+
+    /// All results for one knob, in test order.
+    pub fn results(&self, knob: Knob) -> &[AbTestResult] {
+        self.per_knob.get(&knob).map_or(&[], Vec::as_slice)
+    }
+
+    /// The most performant *significantly better* setting for a knob, if any
+    /// setting beat the baseline.
+    pub fn best_setting(&self, knob: Knob) -> Option<(KnobSetting, f64)> {
+        self.results(knob)
+            .iter()
+            .filter_map(|r| r.verdict.gain().map(|g| (r.setting, g)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("gains are finite"))
+    }
+
+    /// Total A/B tests recorded.
+    pub fn test_count(&self) -> usize {
+        self.per_knob.values().map(Vec::len).sum()
+    }
+
+    /// Total samples consumed across all tests.
+    pub fn sample_count(&self) -> usize {
+        self.per_knob
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|r| r.samples)
+            .sum()
+    }
+
+    /// Settings discarded for QoS violations.
+    pub fn qos_discards(&self) -> usize {
+        self.count_verdict(|v| matches!(v, Verdict::QosViolated))
+    }
+
+    /// Settings skipped because the service cannot tolerate reboots.
+    pub fn reboot_skips(&self) -> usize {
+        self.count_verdict(|v| matches!(v, Verdict::SkippedRebootIntolerant))
+    }
+
+    fn count_verdict(&self, pred: impl Fn(&Verdict) -> bool) -> usize {
+        self.per_knob
+            .values()
+            .flat_map(|v| v.iter())
+            .filter(|r| pred(&r.verdict))
+            .count()
+    }
+
+    /// Renders a human-readable table of the map (one line per test).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (knob, results) in &self.per_knob {
+            out.push_str(&format!("knob {knob}:\n"));
+            for r in results {
+                let desc = match r.verdict {
+                    Verdict::Better { gain } => format!("better {:+.2}%", gain * 100.0),
+                    Verdict::Worse { loss } => format!("worse {:+.2}%", loss * 100.0),
+                    Verdict::NoDifference => "no significant difference".to_string(),
+                    Verdict::QosViolated => "discarded: QoS violation".to_string(),
+                    Verdict::SkippedRebootIntolerant => {
+                        "skipped: reboot not tolerated".to_string()
+                    }
+                };
+                out.push_str(&format!(
+                    "  {:<28} {:<28} ({} samples)\n",
+                    r.setting.to_string(),
+                    desc,
+                    r.samples
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use softsku_telemetry::stats::Summary;
+
+    fn result(setting: KnobSetting, verdict: Verdict, samples: usize) -> AbTestResult {
+        AbTestResult {
+            setting,
+            baseline: Some(Summary::from_moments(samples as u64, 100.0, 1.0)),
+            candidate: Some(Summary::from_moments(samples as u64, 101.0, 1.0)),
+            welch: None,
+            verdict,
+            samples,
+        }
+    }
+
+    #[test]
+    fn best_setting_picks_max_gain() {
+        let mut map = DesignSpaceMap::new();
+        map.record(result(
+            KnobSetting::ShpPages(100),
+            Verdict::Better { gain: 0.01 },
+            200,
+        ));
+        map.record(result(
+            KnobSetting::ShpPages(300),
+            Verdict::Better { gain: 0.06 },
+            200,
+        ));
+        map.record(result(
+            KnobSetting::ShpPages(600),
+            Verdict::Worse { loss: -0.01 },
+            200,
+        ));
+        let (setting, gain) = map.best_setting(Knob::Shp).unwrap();
+        assert_eq!(setting, KnobSetting::ShpPages(300));
+        assert!((gain - 0.06).abs() < 1e-12);
+        assert_eq!(map.test_count(), 3);
+        assert_eq!(map.sample_count(), 600);
+    }
+
+    #[test]
+    fn no_winner_when_nothing_beats_baseline() {
+        let mut map = DesignSpaceMap::new();
+        map.record(result(
+            KnobSetting::CoreFrequencyGhz(1.8),
+            Verdict::Worse { loss: -0.1 },
+            100,
+        ));
+        map.record(result(
+            KnobSetting::CoreFrequencyGhz(2.0),
+            Verdict::NoDifference,
+            2000,
+        ));
+        assert!(map.best_setting(Knob::CoreFrequency).is_none());
+    }
+
+    #[test]
+    fn discard_and_skip_counting() {
+        let mut map = DesignSpaceMap::new();
+        map.record(result(KnobSetting::CoreCount(4), Verdict::QosViolated, 0));
+        map.record(result(
+            KnobSetting::CoreCount(8),
+            Verdict::SkippedRebootIntolerant,
+            0,
+        ));
+        assert_eq!(map.qos_discards(), 1);
+        assert_eq!(map.reboot_skips(), 1);
+        let rendered = map.render();
+        assert!(rendered.contains("QoS violation"));
+        assert!(rendered.contains("reboot not tolerated"));
+    }
+
+    #[test]
+    fn empty_map_is_well_behaved() {
+        let map = DesignSpaceMap::new();
+        assert_eq!(map.test_count(), 0);
+        assert_eq!(map.results(Knob::Cdp).len(), 0);
+        assert!(map.best_setting(Knob::Thp).is_none());
+        assert!(map.render().is_empty());
+    }
+}

@@ -1,0 +1,315 @@
+//! Search strategies over the soft-SKU design space.
+//!
+//! The paper's prototype sweeps knobs *independently* (one A/B test per
+//! candidate setting against the production baseline), because "the
+//! exhaustive approach requires an impractically large number of A/B tests"
+//! (Sec. 4). Sec. 7 suggests better heuristics such as hill climbing for
+//! capturing non-additive knob interactions; both extensions are implemented
+//! here with explicit test budgets.
+
+use crate::abtest::{AbTestResult, AbTester, Verdict};
+use crate::error::UskuError;
+use crate::map::DesignSpaceMap;
+use softsku_archsim::engine::ServerConfig;
+use softsku_cluster::AbEnvironment;
+use softsku_knobs::{Knob, KnobSetting, KnobSpace};
+
+/// Outcome of a search: the design-space map plus the selected composite
+/// configuration.
+#[derive(Debug)]
+pub struct SearchOutcome {
+    /// Every A/B test performed.
+    pub map: DesignSpaceMap,
+    /// The composed best configuration.
+    pub best_config: ServerConfig,
+    /// Per-knob winning settings actually applied.
+    pub selected: Vec<(Knob, KnobSetting, f64)>,
+}
+
+/// Independent per-knob sweep (the paper's deployed strategy).
+///
+/// Each candidate setting of each knob is A/B-tested against the production
+/// baseline; the per-knob winners are presumed additive and composed by the
+/// soft-SKU generator.
+///
+/// # Errors
+///
+/// Propagates tester/environment errors.
+pub fn independent_sweep(
+    tester: &AbTester,
+    env: &mut AbEnvironment,
+    baseline: &ServerConfig,
+    space: &KnobSpace,
+    knobs: &[Knob],
+) -> Result<SearchOutcome, UskuError> {
+    let mut map = DesignSpaceMap::new();
+    for &knob in knobs {
+        for &setting in space.candidates(knob) {
+            // Skip re-testing the exact baseline value: it is the control.
+            if KnobSetting::read_from(knob, baseline) == setting {
+                continue;
+            }
+            let result = tester.run(env, baseline, setting)?;
+            map.record(result);
+        }
+    }
+    let (best_config, selected) = compose(baseline, &map, knobs);
+    Ok(SearchOutcome {
+        map,
+        best_config,
+        selected,
+    })
+}
+
+/// Exhaustive cross-product sweep over a (small) knob subset, bounded by
+/// `budget` A/B tests. Returns the best *joint* setting found — capable of
+/// capturing interactions the independent sweep misses, at a cost that
+/// explodes combinatorially (which is the paper's point).
+///
+/// # Errors
+///
+/// Propagates tester/environment errors.
+pub fn exhaustive_sweep(
+    tester: &AbTester,
+    env: &mut AbEnvironment,
+    baseline: &ServerConfig,
+    space: &KnobSpace,
+    knobs: &[Knob],
+    budget: usize,
+) -> Result<SearchOutcome, UskuError> {
+    let mut map = DesignSpaceMap::new();
+    let candidate_lists: Vec<&[KnobSetting]> =
+        knobs.iter().map(|&k| space.candidates(k)).collect();
+    type JointBest = (ServerConfig, Vec<(Knob, KnobSetting, f64)>, f64);
+    let mut best: Option<JointBest> = None;
+    let mut tested = 0usize;
+
+    let mut indices = vec![0usize; knobs.len()];
+    'outer: loop {
+        // Build the joint configuration for the current index vector.
+        let mut config = baseline.clone();
+        let mut settings = Vec::with_capacity(knobs.len());
+        let mut valid = true;
+        for (i, list) in candidate_lists.iter().enumerate() {
+            if list.is_empty() {
+                valid = false;
+                break;
+            }
+            let setting = list[indices[i]];
+            if setting.apply(&mut config).is_err() {
+                valid = false;
+                break;
+            }
+            settings.push(setting);
+        }
+        if valid && config != *baseline {
+            if tested >= budget {
+                break 'outer;
+            }
+            tested += 1;
+            // Measure the joint configuration via a synthetic "setting":
+            // apply it wholesale to arm B through the last knob's setting
+            // record (the map stores per-knob entries; joint entries are
+            // recorded under each constituent knob).
+            let result = run_joint(tester, env, baseline, &config, *settings.last().expect("non-empty"))?;
+            if let Verdict::Better { gain } = result.verdict {
+                let is_better = best.as_ref().is_none_or(|(_, _, g)| gain > *g);
+                if is_better {
+                    let sel = knobs
+                        .iter()
+                        .zip(&settings)
+                        .map(|(&k, &s)| (k, s, gain))
+                        .collect();
+                    best = Some((config.clone(), sel, gain));
+                }
+            }
+            map.record(result);
+        }
+        // Advance the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == knobs.len() {
+                break 'outer;
+            }
+            indices[i] += 1;
+            if indices[i] < candidate_lists[i].len().max(1) {
+                break;
+            }
+            indices[i] = 0;
+            i += 1;
+        }
+    }
+
+    let (best_config, selected) = match best {
+        Some((cfg, sel, _)) => (cfg, sel),
+        None => (baseline.clone(), Vec::new()),
+    };
+    Ok(SearchOutcome {
+        map,
+        best_config,
+        selected,
+    })
+}
+
+/// Hill climbing: start from the baseline and greedily accept the best
+/// significant single-knob move until no move improves or `max_steps` is
+/// reached (the Sec. 7 heuristic for non-additive interactions).
+///
+/// # Errors
+///
+/// Propagates tester/environment errors.
+pub fn hill_climb(
+    tester: &AbTester,
+    env: &mut AbEnvironment,
+    baseline: &ServerConfig,
+    space: &KnobSpace,
+    knobs: &[Knob],
+    max_steps: usize,
+) -> Result<SearchOutcome, UskuError> {
+    let mut map = DesignSpaceMap::new();
+    let mut current = baseline.clone();
+    let mut selected: Vec<(Knob, KnobSetting, f64)> = Vec::new();
+
+    for _ in 0..max_steps {
+        let mut best_move: Option<(KnobSetting, f64)> = None;
+        for &knob in knobs {
+            for &setting in space.candidates(knob) {
+                if KnobSetting::read_from(knob, &current) == setting {
+                    continue;
+                }
+                let result = tester.run(env, &current, setting)?;
+                if let Verdict::Better { gain } = result.verdict {
+                    if best_move.is_none_or(|(_, g)| gain > g) {
+                        best_move = Some((setting, gain));
+                    }
+                }
+                map.record(result);
+            }
+        }
+        match best_move {
+            Some((setting, gain)) => {
+                setting
+                    .apply(&mut current)
+                    .expect("previously validated move");
+                // Replace any earlier selection of the same knob.
+                selected.retain(|(k, _, _)| *k != setting.knob());
+                selected.push((setting.knob(), setting, gain));
+            }
+            None => break,
+        }
+    }
+    Ok(SearchOutcome {
+        map,
+        best_config: current,
+        selected,
+    })
+}
+
+/// Composes per-knob winners onto the baseline (the independent strategy's
+/// additive assumption).
+fn compose(
+    baseline: &ServerConfig,
+    map: &DesignSpaceMap,
+    knobs: &[Knob],
+) -> (ServerConfig, Vec<(Knob, KnobSetting, f64)>) {
+    let mut config = baseline.clone();
+    let mut selected = Vec::new();
+    for &knob in knobs {
+        if let Some((setting, gain)) = map.best_setting(knob) {
+            if setting.apply(&mut config).is_ok() {
+                selected.push((knob, setting, gain));
+            }
+        }
+    }
+    (config, selected)
+}
+
+/// Runs one joint-configuration comparison; the map entry is labelled with
+/// `label_setting` (the exhaustive sweep's bookkeeping).
+fn run_joint(
+    tester: &AbTester,
+    env: &mut AbEnvironment,
+    baseline: &ServerConfig,
+    joint: &ServerConfig,
+    label_setting: KnobSetting,
+) -> Result<AbTestResult, UskuError> {
+    let needs_reboot = joint.active_cores != baseline.active_cores
+        || joint.shp_pages != baseline.shp_pages;
+    tester.run_config(env, baseline, joint, needs_reboot, label_setting)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abtest::AbTestConfig;
+    use crate::metric::PerformanceMetric;
+    use softsku_cluster::EnvConfig;
+    use softsku_knobs::WorkloadConstraints;
+    use softsku_workloads::{Microservice, PlatformKind};
+
+    fn setup() -> (AbTester, AbEnvironment, ServerConfig, KnobSpace) {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let baseline = profile.production_config.clone();
+        let space = KnobSpace::for_platform(
+            &profile.production_config.platform,
+            WorkloadConstraints::permissive(),
+        );
+        let env = AbEnvironment::new(profile, EnvConfig::fast_test(), 21).unwrap();
+        let tester = AbTester::new(AbTestConfig::fast_test(), PerformanceMetric::Mips);
+        (tester, env, baseline, space)
+    }
+
+    #[test]
+    fn independent_sweep_finds_the_shp_and_thp_wins() {
+        let (tester, mut env, baseline, space) = setup();
+        let out = independent_sweep(
+            &tester,
+            &mut env,
+            &baseline,
+            &space,
+            &[Knob::Thp, Knob::Shp],
+        )
+        .unwrap();
+        let knobs: Vec<Knob> = out.selected.iter().map(|(k, _, _)| *k).collect();
+        assert!(knobs.contains(&Knob::Shp), "selected: {:?}", out.selected);
+        assert!(knobs.contains(&Knob::Thp), "selected: {:?}", out.selected);
+        // The composed config carries both winners.
+        assert_eq!(out.best_config.shp_pages, 300);
+        assert_eq!(out.best_config.thp, softsku_archsim::ThpMode::AlwaysOn);
+        assert!(out.map.test_count() >= 7);
+    }
+
+    #[test]
+    fn hill_climb_improves_over_baseline() {
+        let (tester, mut env, baseline, space) = setup();
+        let out = hill_climb(
+            &tester,
+            &mut env,
+            &baseline,
+            &space,
+            &[Knob::Thp, Knob::Shp],
+            2,
+        )
+        .unwrap();
+        assert!(
+            !out.selected.is_empty(),
+            "hill climb should take at least one improving step"
+        );
+        assert_ne!(out.best_config, baseline);
+    }
+
+    #[test]
+    fn exhaustive_respects_budget() {
+        let (tester, mut env, baseline, space) = setup();
+        let out = exhaustive_sweep(
+            &tester,
+            &mut env,
+            &baseline,
+            &space,
+            &[Knob::Thp],
+            2,
+        )
+        .unwrap();
+        assert!(out.map.test_count() <= 2);
+    }
+}

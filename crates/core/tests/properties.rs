@@ -1,0 +1,85 @@
+//! Property-based tests on µSKU's input parsing and report plumbing.
+
+use proptest::prelude::*;
+use usku::{InputFile, PerformanceMetric, SweepConfig};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser never panics on arbitrary input; it returns a structured
+    /// error or a valid configuration.
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,400}") {
+        let _ = InputFile::parse(&text);
+    }
+
+    /// Same, with line-structured noise resembling real input files.
+    #[test]
+    fn parser_never_panics_on_keyish_lines(
+        lines in proptest::collection::vec(
+            ("[a-z_]{0,12}", "[ =a-z0-9_,#]{0,24}"),
+            0..12,
+        )
+    ) {
+        let text: String = lines
+            .iter()
+            .map(|(k, v)| format!("{k} = {v}\n"))
+            .collect();
+        let _ = InputFile::parse(&text);
+    }
+
+    /// A canonical render of any parsed input re-parses to the same value
+    /// (the input format round-trips).
+    #[test]
+    fn inputs_roundtrip_through_rendering(
+        svc in prop_oneof![
+            Just("web"), Just("feed1"), Just("feed2"), Just("ads1"),
+            Just("ads2"), Just("cache1"), Just("cache2"),
+        ],
+        sweep in prop_oneof![
+            Just("independent"), Just("exhaustive"), Just("hill_climbing"),
+        ],
+        metric in prop_oneof![Just("mips"), Just("qps"), Just("mips_per_watt")],
+        seed in any::<u64>(),
+    ) {
+        let text = format!(
+            "microservice = {svc}\nsweep = {sweep}\nmetric = {metric}\nseed = {seed}\n"
+        );
+        let a = InputFile::parse(&text).unwrap();
+        // Re-render canonically and re-parse.
+        let re = format!(
+            "microservice = {}\nplatform = {}\nsweep = {}\nmetric = {}\nseed = {}\n",
+            a.microservice.name().to_lowercase(),
+            a.platform.to_string().to_lowercase(),
+            a.sweep,
+            a.metric,
+            a.seed,
+        );
+        let b = InputFile::parse(&re).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Whitespace and comments never change the parse.
+    #[test]
+    fn comments_and_whitespace_are_ignored(pad in "[ \\t]{0,6}", comment in "[a-z ]{0,20}") {
+        let plain = "microservice = web\nsweep = independent\n";
+        let noisy = format!(
+            "{pad}# {comment}\n{pad}microservice{pad}={pad}web{pad}# {comment}\n\n{pad}sweep = independent\n"
+        );
+        let a = InputFile::parse(plain).unwrap();
+        let b = InputFile::parse(&noisy).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn enums_cover_all_names() {
+    for s in ["independent", "exhaustive", "hill_climbing"] {
+        let text = format!("microservice = web\nsweep = {s}\n");
+        assert!(InputFile::parse(&text).is_ok(), "{s}");
+    }
+    for m in ["mips", "qps", "mips_per_watt"] {
+        assert!(PerformanceMetric::from_name(m).is_some());
+    }
+    let _ = SweepConfig::Independent;
+}

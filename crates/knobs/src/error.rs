@@ -1,0 +1,69 @@
+//! Error type for knob operations.
+
+use softsku_archsim::ArchSimError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or applying knob settings.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum KnobError {
+    /// The platform rejected the setting (frequency range, core count, …).
+    Platform(ArchSimError),
+    /// The knob is not applicable to the target workload (e.g. SHP on a
+    /// service that never calls the hugetlbfs APIs, or core-count scaling on
+    /// a service that cannot tolerate reboots).
+    NotApplicable {
+        /// Knob name.
+        knob: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A sweep was requested over an empty candidate list.
+    EmptySweep(&'static str),
+}
+
+impl fmt::Display for KnobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnobError::Platform(e) => write!(f, "platform rejected setting: {e}"),
+            KnobError::NotApplicable { knob, reason } => {
+                write!(f, "knob {knob} not applicable: {reason}")
+            }
+            KnobError::EmptySweep(knob) => write!(f, "empty sweep for knob {knob}"),
+        }
+    }
+}
+
+impl Error for KnobError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KnobError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchSimError> for KnobError {
+    fn from(e: ArchSimError) -> Self {
+        KnobError::Platform(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = KnobError::from(ArchSimError::FixedPointDiverged { iterations: 3 });
+        assert!(e.to_string().contains("platform"));
+        assert!(Error::source(&e).is_some());
+        let n = KnobError::NotApplicable {
+            knob: "shp",
+            reason: "service does not use hugetlbfs".into(),
+        };
+        assert!(n.to_string().contains("shp"));
+        assert!(Error::source(&n).is_none());
+    }
+}

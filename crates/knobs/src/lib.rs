@@ -1,0 +1,41 @@
+//! The soft-SKU knob design space (paper Secs. 3–5).
+//!
+//! A "soft SKU" tunes a limited hardware SKU to its assigned microservice
+//! through coarse-grain configuration knobs instead of custom silicon. This
+//! crate provides:
+//!
+//! * [`Knob`] / [`KnobSetting`] — the seven knobs µSKU sweeps (core
+//!   frequency, uncore frequency, core count, LLC CDP, prefetchers, THP,
+//!   SHP), typed and platform-validated.
+//! * [`KnobSpace`] — the per-platform candidate lists, gated by
+//!   [`WorkloadConstraints`] (reboot tolerance, SHP API usage, QoS core
+//!   floors).
+//!
+//! # Example
+//!
+//! ```
+//! use softsku_archsim::engine::ServerConfig;
+//! use softsku_archsim::platform::PlatformSpec;
+//! use softsku_knobs::{Knob, KnobSpace, WorkloadConstraints};
+//!
+//! # fn main() -> Result<(), softsku_knobs::KnobError> {
+//! let platform = PlatformSpec::skylake18();
+//! let space = KnobSpace::for_platform(&platform, WorkloadConstraints::permissive());
+//! let mut config = ServerConfig::stock(platform);
+//! // Apply the first CDP candidate to a stock server.
+//! space.candidates_checked(Knob::Cdp)?[1].apply(&mut config)?;
+//! assert!(config.cdp.is_some());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod knob;
+pub mod space;
+
+pub use error::KnobError;
+pub use knob::{Knob, KnobSetting};
+pub use space::{KnobSpace, WorkloadConstraints};

@@ -1,0 +1,92 @@
+//! Property-based tests on the knob design space.
+
+use proptest::prelude::*;
+use softsku_archsim::engine::ServerConfig;
+use softsku_archsim::platform::PlatformKind;
+use softsku_knobs::{Knob, KnobSetting, KnobSpace, WorkloadConstraints};
+
+fn platform_strategy() -> impl Strategy<Value = PlatformKind> {
+    prop_oneof![
+        Just(PlatformKind::Skylake18),
+        Just(PlatformKind::Skylake20),
+        Just(PlatformKind::Broadwell16),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every candidate in every gated knob space applies cleanly to a stock
+    /// config of its platform, and read_from round-trips the setting.
+    #[test]
+    fn candidates_apply_and_roundtrip(
+        platform in platform_strategy(),
+        tolerates_reboot in any::<bool>(),
+        uses_shp in any::<bool>(),
+        floor in proptest::option::of(2u32..16),
+    ) {
+        let spec = platform.spec();
+        let constraints = WorkloadConstraints {
+            tolerates_reboot,
+            uses_shp,
+            min_cores_for_qos: floor,
+        };
+        let space = KnobSpace::for_platform(&spec, constraints);
+        for knob in Knob::ALL {
+            for &setting in space.candidates(knob) {
+                let mut cfg = ServerConfig::stock(platform.spec());
+                setting.apply(&mut cfg).expect("gated candidates are valid");
+                prop_assert_eq!(KnobSetting::read_from(knob, &cfg), setting);
+                cfg.validate().expect("applied config validates");
+            }
+        }
+    }
+
+    /// Gating is monotone: loosening constraints never removes candidates.
+    #[test]
+    fn gating_is_monotone(platform in platform_strategy()) {
+        let spec = platform.spec();
+        let strict = KnobSpace::for_platform(&spec, WorkloadConstraints {
+            tolerates_reboot: false,
+            uses_shp: false,
+            min_cores_for_qos: Some(spec.total_cores()),
+        });
+        let loose = KnobSpace::for_platform(&spec, WorkloadConstraints::permissive());
+        for knob in Knob::ALL {
+            prop_assert!(loose.candidates(knob).len() >= strict.candidates(knob).len());
+        }
+        prop_assert!(loose.independent_size() >= strict.independent_size());
+        prop_assert!(loose.exhaustive_size() >= strict.exhaustive_size());
+    }
+
+    /// The exhaustive size is exactly the product of the per-knob candidate
+    /// counts (empty knobs contribute a factor of 1).
+    #[test]
+    fn exhaustive_size_is_a_product(
+        platform in platform_strategy(),
+        tolerates_reboot in any::<bool>(),
+        uses_shp in any::<bool>(),
+    ) {
+        let spec = platform.spec();
+        let space = KnobSpace::for_platform(&spec, WorkloadConstraints {
+            tolerates_reboot,
+            uses_shp,
+            min_cores_for_qos: None,
+        });
+        let product: u128 = Knob::ALL
+            .into_iter()
+            .map(|k| space.candidates(k).len().max(1) as u128)
+            .product();
+        prop_assert_eq!(space.exhaustive_size(), product);
+    }
+
+    /// Failed applies never mutate the configuration.
+    #[test]
+    fn failed_apply_is_atomic(ghz in 2.3f64..10.0, cores in 41u32..512) {
+        let mut cfg = ServerConfig::stock(PlatformKind::Skylake18.spec());
+        let before = cfg.clone();
+        prop_assert!(KnobSetting::CoreFrequencyGhz(ghz).apply(&mut cfg).is_err());
+        prop_assert!(KnobSetting::CoreCount(cores).apply(&mut cfg).is_err());
+        prop_assert_eq!(cfg, before);
+    }
+}

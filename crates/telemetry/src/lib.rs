@@ -1,0 +1,43 @@
+//! Telemetry substrate for the SoftSKU reproduction.
+//!
+//! The paper measures production microservices with two internal tools:
+//!
+//! * **EMON** — Intel's performance-monitoring tool that time-multiplexes a
+//!   large set of hardware events over a limited number of physical counter
+//!   slots ([`emon`] reproduces the sampling/multiplexing behaviour, noise
+//!   included).
+//! * **ODS** — Facebook's Operational Data Store, a fleet-wide time-series
+//!   system used for long-horizon QPS validation ([`ods`] reproduces the
+//!   append/query/downsample surface the experiments need).
+//!
+//! µSKU's A/B tester decides significance with 95 % confidence intervals over
+//! tens of thousands of counter samples; the [`stats`] module provides the
+//! underlying machinery (Welford summaries, Student-t quantiles, Welch's
+//! unequal-variance t-test, bootstrap intervals, and autocorrelation-aware
+//! effective sample sizes).
+//!
+//! # Example
+//!
+//! ```
+//! use softsku_telemetry::stats::{welch_test, Summary};
+//!
+//! let a: Vec<f64> = (0..200).map(|i| 100.0 + (i % 7) as f64).collect();
+//! let b: Vec<f64> = (0..200).map(|i| 104.0 + (i % 7) as f64).collect();
+//! let sa = Summary::from_samples(&a).unwrap();
+//! let sb = Summary::from_samples(&b).unwrap();
+//! let t = welch_test(&sa, &sb);
+//! assert!(t.p_value < 0.05, "a clear 4% shift must be significant");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emon;
+pub mod error;
+pub mod ods;
+pub mod stats;
+
+pub use emon::{EventSet, MultiplexedSampler, SamplerConfig};
+pub use error::TelemetryError;
+pub use ods::{Ods, SeriesKey};
+pub use stats::{welch_test, RunningStats, Summary, WelchResult};

@@ -1,0 +1,126 @@
+//! Autocorrelation and effective sample size.
+//!
+//! The paper's A/B tester "records performance counter samples … with
+//! sufficient spacing to ensure independence". Consecutive EMON windows on a
+//! loaded server are positively correlated (diurnal drift, request bursts),
+//! so treating them as i.i.d. understates the variance of the mean. µSKU
+//! uses the lag-1 autocorrelation to pick a spacing, and discounts the sample
+//! count to an *effective* sample size when computing confidence intervals.
+
+use crate::error::TelemetryError;
+
+/// Sample autocorrelation of `xs` at `lag`.
+///
+/// Uses the biased (1/n) normalization, the standard choice that keeps the
+/// estimated autocovariance sequence positive semi-definite.
+///
+/// # Errors
+///
+/// Returns [`TelemetryError::InsufficientSamples`] when `xs.len() <= lag + 1`,
+/// and [`TelemetryError::EmptySamples`] for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use softsku_telemetry::stats::autocorrelation;
+///
+/// // A slowly varying ramp is strongly lag-1 correlated.
+/// let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.05).sin()).collect();
+/// assert!(autocorrelation(&xs, 1).unwrap() > 0.9);
+/// ```
+pub fn autocorrelation(xs: &[f64], lag: usize) -> Result<f64, TelemetryError> {
+    if xs.is_empty() {
+        return Err(TelemetryError::EmptySamples);
+    }
+    if xs.len() <= lag + 1 {
+        return Err(TelemetryError::InsufficientSamples {
+            required: lag + 2,
+            got: xs.len(),
+        });
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    if var == 0.0 {
+        // A constant series is conventionally treated as uncorrelated noise of
+        // zero amplitude; returning 0 keeps effective_sample_size conservative.
+        return Ok(0.0);
+    }
+    let cov: f64 = xs
+        .windows(lag + 1)
+        .map(|w| (w[0] - mean) * (w[lag] - mean))
+        .sum::<f64>()
+        / n;
+    Ok(cov / var)
+}
+
+/// Effective number of independent samples in an AR(1)-like series:
+/// `n * (1 - rho) / (1 + rho)` with `rho` the lag-1 autocorrelation,
+/// clamped to `[1, n]`.
+///
+/// # Errors
+///
+/// Propagates the errors of [`autocorrelation`].
+///
+/// # Example
+///
+/// ```
+/// use softsku_telemetry::stats::effective_sample_size;
+///
+/// let white: Vec<f64> = (0..200).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+/// // Alternating series has negative lag-1 correlation, ESS >= n.
+/// assert!(effective_sample_size(&white).unwrap() >= 200.0);
+/// ```
+pub fn effective_sample_size(xs: &[f64]) -> Result<f64, TelemetryError> {
+    let rho = autocorrelation(xs, 1)?.clamp(-0.999, 0.999);
+    let n = xs.len() as f64;
+    let ess = n * (1.0 - rho) / (1.0 + rho);
+    Ok(ess.clamp(1.0, 2.0 * n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_zero() {
+        let xs = vec![5.0; 50];
+        assert_eq!(autocorrelation(&xs, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn alternating_series_negative() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&xs, 1).unwrap() < -0.9);
+    }
+
+    #[test]
+    fn smooth_series_positive_and_decaying() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64 * 0.02).sin()).collect();
+        let r1 = autocorrelation(&xs, 1).unwrap();
+        let r10 = autocorrelation(&xs, 10).unwrap();
+        assert!(r1 > r10, "autocorrelation should decay with lag");
+        assert!(r1 > 0.99);
+    }
+
+    #[test]
+    fn ess_smaller_for_correlated_series() {
+        let smooth: Vec<f64> = (0..400).map(|i| (i as f64 * 0.01).sin()).collect();
+        let ess = effective_sample_size(&smooth).unwrap();
+        assert!(ess < 40.0, "highly correlated series: ess = {ess}");
+    }
+
+    #[test]
+    fn errors_on_short_input() {
+        assert!(autocorrelation(&[], 1).is_err());
+        assert!(autocorrelation(&[1.0, 2.0], 1).is_err());
+        assert!(autocorrelation(&[1.0, 2.0, 3.0], 5).is_err());
+    }
+
+    #[test]
+    fn lag_zero_is_one() {
+        let xs: Vec<f64> = (0..32).map(|i| (i as f64 * 1.7).cos()).collect();
+        let r0 = autocorrelation(&xs, 0).unwrap();
+        assert!((r0 - 1.0).abs() < 1e-12);
+    }
+}

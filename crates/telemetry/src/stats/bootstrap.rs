@@ -1,0 +1,135 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! MIPS samples are approximately normal, but QPS-derived metrics for the
+//! Cache services (Sec. 7 of the paper: exception handlers make instruction
+//! counts performance-dependent) are skewed. The extended metric support in
+//! `usku::metric` therefore falls back to a distribution-free bootstrap.
+
+use crate::error::TelemetryError;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A bootstrap confidence interval for the mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (plain sample mean).
+    pub mean: f64,
+    /// Lower percentile bound.
+    pub low: f64,
+    /// Upper percentile bound.
+    pub high: f64,
+    /// Number of resamples drawn.
+    pub resamples: usize,
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `samples`.
+///
+/// Draws `resamples` resamples with replacement using a deterministic RNG
+/// seeded with `seed`, so experiment reruns are reproducible.
+///
+/// # Errors
+///
+/// * [`TelemetryError::InsufficientSamples`] if fewer than 2 samples.
+/// * [`TelemetryError::InvalidConfidence`] if `confidence` ∉ (0, 1).
+///
+/// # Example
+///
+/// ```
+/// use softsku_telemetry::stats::bootstrap_mean_ci;
+///
+/// let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+/// let ci = bootstrap_mean_ci(&xs, 0.95, 500, 7).unwrap();
+/// assert!(ci.low <= ci.mean && ci.mean <= ci.high);
+/// ```
+pub fn bootstrap_mean_ci(
+    samples: &[f64],
+    confidence: f64,
+    resamples: usize,
+    seed: u64,
+) -> Result<BootstrapCi, TelemetryError> {
+    if samples.len() < 2 {
+        return Err(TelemetryError::InsufficientSamples {
+            required: 2,
+            got: samples.len(),
+        });
+    }
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(TelemetryError::InvalidConfidence(confidence));
+    }
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += samples[rng.gen_range(0..n)];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("bootstrap means are finite"));
+    let alpha = 1.0 - confidence;
+    let lo_idx = ((alpha / 2.0) * (resamples - 1) as f64).round() as usize;
+    let hi_idx = ((1.0 - alpha / 2.0) * (resamples - 1) as f64).round() as usize;
+    Ok(BootstrapCi {
+        mean,
+        low: means[lo_idx],
+        high: means[hi_idx.min(resamples - 1)],
+        resamples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_brackets_mean() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 37) % 100) as f64).collect();
+        let ci = bootstrap_mean_ci(&xs, 0.95, 1000, 42).unwrap();
+        assert!(ci.low < ci.mean && ci.mean < ci.high);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = bootstrap_mean_ci(&xs, 0.9, 300, 9).unwrap();
+        let b = bootstrap_mean_ci(&xs, 0.9, 300, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_differs() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0).collect();
+        let a = bootstrap_mean_ci(&xs, 0.9, 300, 1).unwrap();
+        let b = bootstrap_mean_ci(&xs, 0.9, 300, 2).unwrap();
+        assert_ne!((a.low, a.high), (b.low, b.high));
+    }
+
+    #[test]
+    fn rejects_tiny_input() {
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 100, 0).is_err());
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, 0).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_confidence() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!(bootstrap_mean_ci(&xs, 1.0, 100, 0).is_err());
+        assert!(bootstrap_mean_ci(&xs, 0.0, 100, 0).is_err());
+    }
+
+    #[test]
+    fn skewed_data_interval_is_asymmetric() {
+        // Heavily right-skewed data: most mass near 0, a few large values.
+        let mut xs = vec![0.5; 95];
+        xs.extend_from_slice(&[50.0, 60.0, 70.0, 80.0, 90.0]);
+        let ci = bootstrap_mean_ci(&xs, 0.95, 2000, 3).unwrap();
+        let left = ci.mean - ci.low;
+        let right = ci.high - ci.mean;
+        assert!(
+            (right - left).abs() > 0.05 * (right + left),
+            "skewed data should give an asymmetric interval: left={left} right={right}"
+        );
+    }
+}

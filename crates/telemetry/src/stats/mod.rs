@@ -1,0 +1,26 @@
+//! Statistics used by µSKU's A/B decision machinery.
+//!
+//! The paper's A/B tester (Sec. 4) records EMON samples "with sufficient
+//! spacing to ensure independence", computes 95 % confidence intervals on the
+//! mean MIPS of each arm, and declares a knob setting better only when the
+//! difference is statistically significant; it gives up after roughly 30 000
+//! samples. This module provides the pieces:
+//!
+//! * [`RunningStats`] / [`Summary`] — single-pass Welford accumulation.
+//! * [`t_cdf`] / [`t_quantile`] — Student-t CDF and quantiles (no table lookups).
+//! * [`welch_test`] — Welch's unequal-variance two-sample t-test.
+//! * [`bootstrap_mean_ci`] — percentile bootstrap intervals for non-normal metrics.
+//! * [`autocorrelation`] / [`effective_sample_size`] — used to pick the
+//!   sample spacing that makes the independence assumption honest.
+
+mod autocorr;
+mod bootstrap;
+mod student_t;
+mod summary;
+mod welch;
+
+pub use autocorr::{autocorrelation, effective_sample_size};
+pub use bootstrap::{bootstrap_mean_ci, BootstrapCi};
+pub use student_t::{t_cdf, t_quantile};
+pub use summary::{RunningStats, Summary};
+pub use welch::{welch_test, WelchResult};

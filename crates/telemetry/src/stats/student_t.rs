@@ -1,0 +1,284 @@
+//! Student-t distribution: CDF via the regularized incomplete beta function
+//! and quantiles via bracketed bisection.
+//!
+//! Implemented from scratch (Lanczos log-gamma + Lentz continued fraction for
+//! the incomplete beta) so the crate carries no numerical dependency. The
+//! accuracy target is ~1e-10 in CDF space, far tighter than anything a 95 %
+//! confidence decision needs.
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7, n = 9).
+///
+/// Accurate to ~1e-13 for positive arguments, which covers every degrees-of-
+/// freedom value this crate produces.
+fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for the g=7, n=9 Lanczos approximation.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small arguments.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Continued-fraction evaluation for the incomplete beta (Lentz's method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 3e-16;
+    const FPMIN: f64 = 1e-300;
+
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction directly when it converges fast, otherwise
+    // use the symmetry relation.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - front * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Cumulative distribution function of the Student-t distribution with `df`
+/// degrees of freedom, evaluated at `t`.
+///
+/// # Panics
+///
+/// Panics if `df` is not strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use softsku_telemetry::stats::t_cdf;
+///
+/// // Symmetric around zero.
+/// assert!((t_cdf(0.0, 10.0) - 0.5).abs() < 1e-12);
+/// ```
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+    if t.is_nan() {
+        return f64::NAN;
+    }
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * inc_beta(df / 2.0, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Quantile (inverse CDF) of the Student-t distribution: the value `x` with
+/// `t_cdf(x, df) == p`.
+///
+/// Uses bisection on the monotone CDF with an expanding initial bracket;
+/// converges to ~1e-12 absolute.
+///
+/// # Panics
+///
+/// Panics if `df <= 0` or `p` is outside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use softsku_telemetry::stats::t_quantile;
+///
+/// // Classic table value: t_{0.975, 10} ≈ 2.228.
+/// let t = t_quantile(0.975, 10.0);
+/// assert!((t - 2.228).abs() < 1e-3);
+/// ```
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive, got {df}");
+    assert!(p > 0.0 && p < 1.0, "probability must be in (0, 1), got {p}");
+    if (p - 0.5).abs() < 1e-15 {
+        return 0.0;
+    }
+    // Expand a bracket [lo, hi] that straddles the target probability.
+    let (mut lo, mut hi) = if p > 0.5 { (0.0, 1.0) } else { (-1.0, 0.0) };
+    for _ in 0..200 {
+        if p > 0.5 {
+            if t_cdf(hi, df) >= p {
+                break;
+            }
+            hi *= 2.0;
+        } else {
+            if t_cdf(lo, df) <= p {
+                break;
+            }
+            lo *= 2.0;
+        }
+    }
+    // Bisection: 200 iterations is overkill but cheap and branch-free.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-13 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Gamma(1) = Gamma(2) = 1, Gamma(5) = 24, Gamma(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-11);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn cdf_symmetry() {
+        for &df in &[1.0, 2.0, 5.0, 30.0, 1000.0] {
+            for &t in &[0.1, 0.7, 1.5, 3.0, 8.0] {
+                let up = t_cdf(t, df);
+                let dn = t_cdf(-t, df);
+                assert!((up + dn - 1.0).abs() < 1e-12, "df={df} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_monotone_in_t() {
+        let df = 7.0;
+        let mut prev = 0.0;
+        for i in -50..=50 {
+            let t = i as f64 * 0.2;
+            let c = t_cdf(t, df);
+            assert!(c >= prev, "CDF must be nondecreasing");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn quantile_matches_tables() {
+        // (p, df, expected) from standard t tables.
+        let cases = [
+            (0.975, 1.0, 12.706),
+            (0.975, 2.0, 4.303),
+            (0.975, 5.0, 2.571),
+            (0.975, 10.0, 2.228),
+            (0.975, 30.0, 2.042),
+            (0.975, 120.0, 1.980),
+            (0.95, 10.0, 1.812),
+            (0.99, 10.0, 2.764),
+            (0.995, 10.0, 3.169),
+        ];
+        for (p, df, expected) in cases {
+            let got = t_quantile(p, df);
+            assert!(
+                (got - expected).abs() < 2e-3,
+                "t_quantile({p}, {df}) = {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &df in &[1.5, 4.0, 29.0, 500.0] {
+            for &p in &[0.01, 0.2, 0.5, 0.9, 0.999] {
+                let x = t_quantile(p, df);
+                assert!((t_cdf(x, df) - p).abs() < 1e-9, "df={df} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn large_df_approaches_normal() {
+        // For df → ∞ the 97.5% quantile tends to 1.959964.
+        let t = t_quantile(0.975, 1e7);
+        assert!((t - 1.959964).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "degrees of freedom")]
+    fn zero_df_panics() {
+        t_cdf(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_probability_panics() {
+        t_quantile(1.0, 5.0);
+    }
+}

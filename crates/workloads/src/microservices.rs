@@ -1,0 +1,599 @@
+//! The seven production microservices (paper Sec. 2.1) as simulator-ready
+//! workload profiles.
+//!
+//! * **Web** — the HHVM JIT serving web requests: enormous code footprint,
+//!   heavy front-end stalls, the only service with meaningful LLC code
+//!   misses; deployed on Skylake18 and (older fleet) Broadwell16.
+//! * **Feed1 / Feed2** — News Feed ranking leaf (FP-dominated, dense feature
+//!   vectors) and story aggregator.
+//! * **Ads1 / Ads2** — user-side ad ranking (AVX-taxed, bursty memory
+//!   traffic) and ad-side candidate retrieval (largest data working set,
+//!   runs on Skylake20 for bandwidth headroom).
+//! * **Cache1 / Cache2** — distributed-memory cache tiers: microsecond
+//!   latency, enormous context-switch rates, code thrashing in L1/L2.
+
+use crate::calib::{self, ServiceTargets};
+use crate::error::WorkloadError;
+use crate::profile::{build_stream_spec, ServiceTexture};
+use crate::request::{RequestBreakdown, RequestProfile};
+use softsku_archsim::engine::ServerConfig;
+use softsku_archsim::pagemap::{ThpMode, HUGE_PAGE_BYTES};
+use softsku_archsim::platform::PlatformKind;
+use softsku_archsim::prefetch::PrefetcherConfig;
+use softsku_archsim::stream::{PageProfile, PrefetchAffinity, StreamSpec};
+use softsku_knobs::WorkloadConstraints;
+
+/// One of the seven production microservices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Microservice {
+    /// HHVM web tier.
+    Web,
+    /// News Feed ranking leaf.
+    Feed1,
+    /// News Feed aggregator.
+    Feed2,
+    /// User-side ads ranking.
+    Ads1,
+    /// Ad-side candidate retrieval.
+    Ads2,
+    /// Inner cache tier.
+    Cache1,
+    /// Client-facing cache tier.
+    Cache2,
+}
+
+impl Microservice {
+    /// All services in the paper's order.
+    pub const ALL: [Microservice; 7] = [
+        Microservice::Web,
+        Microservice::Feed1,
+        Microservice::Feed2,
+        Microservice::Ads1,
+        Microservice::Ads2,
+        Microservice::Cache1,
+        Microservice::Cache2,
+    ];
+
+    /// The paper's name for the service.
+    pub fn name(self) -> &'static str {
+        self.targets().name
+    }
+
+    /// Parses a service from its (case-insensitive) name.
+    pub fn from_name(name: &str) -> Result<Microservice, WorkloadError> {
+        let lower = name.to_lowercase();
+        Microservice::ALL
+            .into_iter()
+            .find(|s| s.name().to_lowercase() == lower)
+            .ok_or_else(|| WorkloadError::UnknownService(name.to_string()))
+    }
+
+    /// The platform the service is characterized on (Sec. 2.2).
+    pub fn default_platform(self) -> PlatformKind {
+        match self {
+            Microservice::Ads2 | Microservice::Cache1 => PlatformKind::Skylake20,
+            _ => PlatformKind::Skylake18,
+        }
+    }
+
+    /// Platforms the service is deployed on; only Web also runs on the older
+    /// Broadwell fleet (Sec. 5).
+    pub fn supported_platforms(self) -> &'static [PlatformKind] {
+        match self {
+            Microservice::Web => &[PlatformKind::Skylake18, PlatformKind::Broadwell16],
+            Microservice::Ads2 | Microservice::Cache1 => &[PlatformKind::Skylake20],
+            _ => &[PlatformKind::Skylake18],
+        }
+    }
+
+    /// The calibration targets (paper characterization numbers).
+    pub fn targets(self) -> &'static ServiceTargets {
+        match self {
+            Microservice::Web => &calib::WEB,
+            Microservice::Feed1 => &calib::FEED1,
+            Microservice::Feed2 => &calib::FEED2,
+            Microservice::Ads1 => &calib::ADS1,
+            Microservice::Ads2 => &calib::ADS2,
+            Microservice::Cache1 => &calib::CACHE1,
+            Microservice::Cache2 => &calib::CACHE2,
+        }
+    }
+
+    /// Knob-sweep constraints (paper Secs. 4 and 6.1): Cache tiers cannot
+    /// tolerate live-traffic reboots; Ads1's load-balancer design fails QoS
+    /// below full core count and never calls the SHP APIs.
+    pub fn constraints(self) -> WorkloadConstraints {
+        match self {
+            Microservice::Cache1 | Microservice::Cache2 => WorkloadConstraints {
+                tolerates_reboot: false,
+                uses_shp: false,
+                min_cores_for_qos: None,
+            },
+            Microservice::Ads1 => WorkloadConstraints {
+                tolerates_reboot: true,
+                uses_shp: false,
+                min_cores_for_qos: Some(self.default_platform().spec().total_cores()),
+            },
+            Microservice::Web => WorkloadConstraints {
+                tolerates_reboot: true,
+                uses_shp: true,
+                min_cores_for_qos: None,
+            },
+            _ => WorkloadConstraints {
+                tolerates_reboot: true,
+                uses_shp: false,
+                min_cores_for_qos: None,
+            },
+        }
+    }
+
+    /// Model texture (footprints, prefetchability, page packing, yields).
+    fn texture(self) -> ServiceTexture {
+        match self {
+            // Web: huge JIT code cache (LLC-scale code footprint, 600 MB of
+            // SHP-eligible text), pointer-heavy heap, BTB-saturating branch
+            // working set, SMT-friendly front-end stalls.
+            Microservice::Web => ServiceTexture {
+                code_footprint_lines: 1_600_000,
+                data_footprint_lines: 2_000_000,
+                code_page_footprint: 160_000,
+                data_page_footprint: 60_000,
+                branch_working_set: 4_400,
+                base_mispredict: 0.024,
+                prefetch: PrefetchAffinity {
+                    sequential: 0.30,
+                    ip_stride: 0.15,
+                    accuracy: 0.50,
+                },
+                pages: PageProfile {
+                    data_compaction: 5.0,
+                    code_compaction: 256.0,
+                    madvise_fraction: 0.25,
+                    uses_shp: true,
+                    shp_target_bytes: 300 * HUGE_PAGE_BYTES,
+                },
+                cs_pollution: 0.10,
+                mlp: 4.0,
+                smt_gain: 0.35,
+                base_cpi_scale: 0.55,
+                writeback_factor: 0.40,
+                burstiness: 1.0,
+                llc_contention: 0.12,
+                natural_code_llc_share: 0.18,
+                extra_mem_lines_per_ki: 55.0,
+                extra_traffic_prefetch_fraction: 0.08,
+                frontend_exposure: 0.75,
+                taken_rate: 0.62,
+            },
+            // Feed1: small hot loop over dense vectors — prefetch heaven,
+            // deep MLP, little for SMT to add.
+            Microservice::Feed1 => ServiceTexture {
+                code_footprint_lines: 40_000,
+                data_footprint_lines: 2_000_000,
+                code_page_footprint: 2_000,
+                data_page_footprint: 30_000,
+                branch_working_set: 1_200,
+                base_mispredict: 0.012,
+                prefetch: PrefetchAffinity {
+                    sequential: 0.65,
+                    ip_stride: 0.45,
+                    accuracy: 0.80,
+                },
+                pages: PageProfile {
+                    data_compaction: 256.0,
+                    code_compaction: 64.0,
+                    madvise_fraction: 0.70,
+                    uses_shp: false,
+                    shp_target_bytes: 0,
+                },
+                cs_pollution: 0.05,
+                mlp: 8.0,
+                smt_gain: 0.15,
+                base_cpi_scale: 0.87,
+                writeback_factor: 0.30,
+                burstiness: 1.0,
+                llc_contention: 0.10,
+                natural_code_llc_share: 0.25,
+                extra_mem_lines_per_ki: 4.0,
+                extra_traffic_prefetch_fraction: 0.10,
+                frontend_exposure: 0.50,
+                taken_rate: 0.55,
+            },
+            Microservice::Feed2 => ServiceTexture {
+                code_footprint_lines: 300_000,
+                data_footprint_lines: 1_500_000,
+                code_page_footprint: 20_000,
+                data_page_footprint: 50_000,
+                branch_working_set: 3_000,
+                base_mispredict: 0.022,
+                prefetch: PrefetchAffinity {
+                    sequential: 0.35,
+                    ip_stride: 0.20,
+                    accuracy: 0.60,
+                },
+                pages: PageProfile {
+                    data_compaction: 32.0,
+                    code_compaction: 64.0,
+                    madvise_fraction: 0.40,
+                    uses_shp: false,
+                    shp_target_bytes: 0,
+                },
+                cs_pollution: 0.06,
+                mlp: 5.0,
+                smt_gain: 0.25,
+                base_cpi_scale: 0.98,
+                writeback_factor: 0.40,
+                burstiness: 1.0,
+                llc_contention: 0.15,
+                natural_code_llc_share: 0.35,
+                extra_mem_lines_per_ki: 0.0,
+                extra_traffic_prefetch_fraction: 0.10,
+                frontend_exposure: 0.50,
+                taken_rate: 0.60,
+            },
+            // Ads1: already madvise-tuned huge pages (no THP-always win),
+            // bursty memory traffic above the queueing curve.
+            Microservice::Ads1 => ServiceTexture {
+                code_footprint_lines: 200_000,
+                data_footprint_lines: 2_000_000,
+                code_page_footprint: 15_000,
+                data_page_footprint: 70_000,
+                branch_working_set: 2_500,
+                base_mispredict: 0.018,
+                prefetch: PrefetchAffinity {
+                    sequential: 0.30,
+                    ip_stride: 0.25,
+                    accuracy: 0.55,
+                },
+                pages: PageProfile {
+                    data_compaction: 64.0,
+                    code_compaction: 64.0,
+                    madvise_fraction: 0.92,
+                    uses_shp: false,
+                    shp_target_bytes: 0,
+                },
+                cs_pollution: 0.06,
+                mlp: 5.0,
+                smt_gain: 0.25,
+                base_cpi_scale: 0.38,
+                writeback_factor: 0.40,
+                burstiness: 1.70,
+                llc_contention: 0.15,
+                natural_code_llc_share: 0.10,
+                extra_mem_lines_per_ki: 16.0,
+                extra_traffic_prefetch_fraction: 0.05,
+                frontend_exposure: 0.50,
+                taken_rate: 0.58,
+            },
+            Microservice::Ads2 => ServiceTexture {
+                code_footprint_lines: 150_000,
+                data_footprint_lines: 2_000_000,
+                code_page_footprint: 10_000,
+                data_page_footprint: 90_000,
+                branch_working_set: 2_500,
+                base_mispredict: 0.016,
+                prefetch: PrefetchAffinity {
+                    sequential: 0.40,
+                    ip_stride: 0.30,
+                    accuracy: 0.60,
+                },
+                pages: PageProfile {
+                    data_compaction: 64.0,
+                    code_compaction: 64.0,
+                    madvise_fraction: 0.50,
+                    uses_shp: false,
+                    shp_target_bytes: 0,
+                },
+                cs_pollution: 0.06,
+                mlp: 12.0,
+                smt_gain: 0.25,
+                base_cpi_scale: 0.20,
+                writeback_factor: 0.40,
+                burstiness: 1.25,
+                llc_contention: 0.20,
+                natural_code_llc_share: 0.30,
+                extra_mem_lines_per_ki: 6.0,
+                extra_traffic_prefetch_fraction: 0.05,
+                frontend_exposure: 0.50,
+                taken_rate: 0.58,
+            },
+            // Cache tiers: distinct thread pools thrash code in L1/L2 under
+            // extreme context-switch rates; random key access defeats
+            // prefetchers.
+            Microservice::Cache1 => ServiceTexture {
+                code_footprint_lines: 500_000,
+                data_footprint_lines: 1_800_000,
+                code_page_footprint: 30_000,
+                data_page_footprint: 40_000,
+                branch_working_set: 3_800,
+                base_mispredict: 0.020,
+                prefetch: PrefetchAffinity {
+                    sequential: 0.15,
+                    ip_stride: 0.08,
+                    accuracy: 0.40,
+                },
+                pages: PageProfile {
+                    data_compaction: 16.0,
+                    code_compaction: 32.0,
+                    madvise_fraction: 0.20,
+                    uses_shp: false,
+                    shp_target_bytes: 0,
+                },
+                cs_pollution: 0.30,
+                mlp: 8.0,
+                smt_gain: 0.30,
+                base_cpi_scale: 0.55,
+                writeback_factor: 0.50,
+                burstiness: 1.00,
+                llc_contention: 0.10,
+                natural_code_llc_share: 0.40,
+                extra_mem_lines_per_ki: 15.0,
+                extra_traffic_prefetch_fraction: 0.05,
+                frontend_exposure: 0.32,
+                taken_rate: 0.60,
+            },
+            Microservice::Cache2 => ServiceTexture {
+                code_footprint_lines: 450_000,
+                data_footprint_lines: 1_600_000,
+                code_page_footprint: 28_000,
+                data_page_footprint: 35_000,
+                branch_working_set: 3_600,
+                base_mispredict: 0.020,
+                prefetch: PrefetchAffinity {
+                    sequential: 0.15,
+                    ip_stride: 0.08,
+                    accuracy: 0.40,
+                },
+                pages: PageProfile {
+                    data_compaction: 16.0,
+                    code_compaction: 32.0,
+                    madvise_fraction: 0.20,
+                    uses_shp: false,
+                    shp_target_bytes: 0,
+                },
+                cs_pollution: 0.28,
+                mlp: 8.0,
+                smt_gain: 0.30,
+                base_cpi_scale: 0.75,
+                writeback_factor: 0.50,
+                burstiness: 1.10,
+                llc_contention: 0.10,
+                natural_code_llc_share: 0.40,
+                extra_mem_lines_per_ki: 12.0,
+                extra_traffic_prefetch_fraction: 0.05,
+                frontend_exposure: 0.33,
+                taken_rate: 0.60,
+            },
+        }
+    }
+
+    /// Hand-tuned production server configuration (paper Secs. 5–6.1).
+    ///
+    /// Production defaults: maximum frequencies with Turbo, all cores, no
+    /// CDP, THP `madvise`. Per-service deltas: Web reserves 200 SHPs on
+    /// Skylake and 488 on Broadwell; Web-on-Broadwell enables only the L2
+    /// hardware + DCU prefetchers.
+    pub fn production_config(self, platform: PlatformKind) -> Result<ServerConfig, WorkloadError> {
+        self.check_platform(platform)?;
+        let spec = platform.spec();
+        let mut cfg = ServerConfig::stock(spec);
+        cfg.thp = ThpMode::Madvise;
+        match (self, platform) {
+            (Microservice::Web, PlatformKind::Skylake18) => {
+                cfg.shp_pages = 200;
+            }
+            (Microservice::Web, PlatformKind::Broadwell16) => {
+                cfg.shp_pages = 488;
+                cfg.prefetchers = PrefetcherConfig::l2_and_dcu();
+            }
+            _ => {}
+        }
+        Ok(cfg)
+    }
+
+    /// Stock (fresh re-install) configuration (paper Sec. 6.2).
+    pub fn stock_config(self, platform: PlatformKind) -> Result<ServerConfig, WorkloadError> {
+        self.check_platform(platform)?;
+        Ok(ServerConfig::stock(platform.spec()))
+    }
+
+    /// Request-level profile (Fig. 2, Table 2, QoS slack).
+    pub fn request_profile(self) -> RequestProfile {
+        let t = self.targets();
+        let breakdown = t.request_pct.map(|r| {
+            RequestBreakdown::from_percent(t.name, r[0], r[1], r[2], r[3])
+                .expect("calibration tables sum to 100 (unit-tested)")
+        });
+        RequestProfile {
+            breakdown,
+            avg_latency_s: t.table2.1,
+            peak_qps: t.table2.0,
+            path_length_insn: t.table2.2,
+            // Microsecond-scale services run with tighter slack (their QoS
+            // constraints bind harder; Fig. 3 discussion).
+            qos_slack: if t.table2.1 < 1e-3 { 1.3 } else { 1.6 },
+        }
+    }
+
+    /// Builds the full workload profile for `platform`.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::UnsupportedPlatform`] if the service is not deployed
+    /// there; [`WorkloadError::Calibration`] if the tables are inconsistent.
+    pub fn profile(self, platform: PlatformKind) -> Result<WorkloadProfile, WorkloadError> {
+        self.check_platform(platform)?;
+        // Streams are anchored at the *characterization* platform so the
+        // workload is the same object on every deployment platform.
+        let anchor = self.default_platform().spec();
+        let mut stream = build_stream_spec(self.targets(), &self.texture(), &anchor)?;
+        // The Broadwell Web fleet runs an older build with a larger JIT code
+        // cache; its production SHP pool is 488 pages and the Fig. 18b sweet
+        // spot sits at 400 pages rather than 300.
+        if self == Microservice::Web && platform == PlatformKind::Broadwell16 {
+            stream.pages.shp_target_bytes = 400 * HUGE_PAGE_BYTES;
+            // The paper finds Web-on-Broadwell "heavily memory bandwidth
+            // bound": the older platform moves comparatively more non-demand
+            // traffic against less than half the channel capacity.
+            stream.extra_mem_lines_per_ki = 68.0;
+        }
+        Ok(WorkloadProfile {
+            service: self,
+            platform,
+            stream,
+            constraints: self.constraints(),
+            peak_utilization: self.targets().cpu_util_pct / 100.0,
+            kernel_fraction: self.targets().kernel_util_pct / self.targets().cpu_util_pct,
+            request: self.request_profile(),
+            production_config: self.production_config(platform)?,
+            stock_config: self.stock_config(platform)?,
+        })
+    }
+
+    fn check_platform(self, platform: PlatformKind) -> Result<(), WorkloadError> {
+        if self.supported_platforms().contains(&platform) {
+            Ok(())
+        } else {
+            Err(WorkloadError::UnsupportedPlatform {
+                service: self.name(),
+                platform: platform.to_string(),
+            })
+        }
+    }
+}
+
+impl std::fmt::Display for Microservice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete, simulator-ready description of one service on one platform.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Which service.
+    pub service: Microservice,
+    /// Which platform it is deployed on here.
+    pub platform: PlatformKind,
+    /// Microarchitectural stream specification.
+    pub stream: StreamSpec,
+    /// Knob-sweep constraints.
+    pub constraints: WorkloadConstraints,
+    /// Peak CPU utilization the QoS constraints allow (Fig. 3).
+    pub peak_utilization: f64,
+    /// Kernel+IO share of busy time.
+    pub kernel_fraction: f64,
+    /// Request-level profile.
+    pub request: RequestProfile,
+    /// Hand-tuned production configuration.
+    pub production_config: ServerConfig,
+    /// Stock configuration.
+    pub stock_config: ServerConfig,
+}
+
+impl WorkloadProfile {
+    /// The calibration targets behind this profile.
+    pub fn targets(&self) -> &'static ServiceTargets {
+        self.service.targets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_build_on_default_platforms() {
+        for s in Microservice::ALL {
+            let p = s.profile(s.default_platform()).unwrap();
+            p.stream.validate().unwrap();
+            assert!(p.peak_utilization > 0.3 && p.peak_utilization < 0.9);
+        }
+    }
+
+    #[test]
+    fn web_runs_on_broadwell_others_do_not() {
+        assert!(Microservice::Web.profile(PlatformKind::Broadwell16).is_ok());
+        assert!(matches!(
+            Microservice::Feed1.profile(PlatformKind::Broadwell16),
+            Err(WorkloadError::UnsupportedPlatform { .. })
+        ));
+        assert!(matches!(
+            Microservice::Cache1.profile(PlatformKind::Skylake18),
+            Err(WorkloadError::UnsupportedPlatform { .. })
+        ));
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        for s in Microservice::ALL {
+            assert_eq!(Microservice::from_name(s.name()).unwrap(), s);
+            assert_eq!(Microservice::from_name(&s.name().to_uppercase()).unwrap(), s);
+        }
+        assert!(Microservice::from_name("nope").is_err());
+    }
+
+    #[test]
+    fn production_configs_match_paper() {
+        let web_sky = Microservice::Web
+            .production_config(PlatformKind::Skylake18)
+            .unwrap();
+        assert_eq!(web_sky.shp_pages, 200);
+        assert_eq!(web_sky.thp, ThpMode::Madvise);
+        assert_eq!(web_sky.prefetchers, PrefetcherConfig::all_on());
+
+        let web_bdw = Microservice::Web
+            .production_config(PlatformKind::Broadwell16)
+            .unwrap();
+        assert_eq!(web_bdw.shp_pages, 488);
+        assert_eq!(web_bdw.prefetchers, PrefetcherConfig::l2_and_dcu());
+
+        let ads1 = Microservice::Ads1
+            .production_config(PlatformKind::Skylake18)
+            .unwrap();
+        assert_eq!(ads1.shp_pages, 0);
+        // AVX tax: effective frequency is 2.0 GHz even though the knob is 2.2.
+        let fp = Microservice::Ads1.targets().mix_pct[1] / 100.0;
+        assert!((ads1.effective_core_freq_ghz(fp) - 2.0).abs() < 1e-9);
+
+        // Validate production configs on their platforms.
+        for s in Microservice::ALL {
+            for &p in s.supported_platforms() {
+                s.production_config(p).unwrap().validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn constraints_match_paper() {
+        assert!(!Microservice::Cache1.constraints().tolerates_reboot);
+        assert!(!Microservice::Ads1.constraints().uses_shp);
+        assert_eq!(
+            Microservice::Ads1.constraints().min_cores_for_qos,
+            Some(18)
+        );
+        assert!(Microservice::Web.constraints().uses_shp);
+    }
+
+    #[test]
+    fn request_profiles_cover_table2_orders() {
+        // Latency spans µs (Cache) to seconds (Feed2).
+        let cache = Microservice::Cache2.request_profile();
+        let feed2 = Microservice::Feed2.request_profile();
+        assert!(cache.avg_latency_s < 1e-4);
+        assert!(feed2.avg_latency_s >= 1.0);
+        assert!(cache.peak_qps / Microservice::Ads1.request_profile().peak_qps > 1e3);
+        // Web's famous scheduler-delay split exists.
+        let web = Microservice::Web.request_profile().breakdown.unwrap();
+        assert!(web.scheduler > 0.2);
+        assert!((web.running - 0.28).abs() < 1e-9);
+        // Cache tiers cannot be apportioned.
+        assert!(Microservice::Cache1.request_profile().breakdown.is_none());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Microservice::Web.to_string(), "Web");
+        assert_eq!(Microservice::Cache2.to_string(), "Cache2");
+    }
+}

@@ -1,0 +1,331 @@
+//! Construction of [`StreamSpec`]s from calibration targets.
+//!
+//! The calibration tables ([`crate::calib`]) hold the *observable* numbers
+//! the paper reports (MPKI, IPC, utilization…). This module inverts them
+//! into simulator inputs: reuse-distance survival points anchored at the
+//! structure capacities of the service's characterization platform, TLB page
+//! distributions corrected for access intensity, and branch parameters.
+
+use crate::calib::ServiceTargets;
+use crate::error::WorkloadError;
+use softsku_archsim::platform::PlatformSpec;
+use softsku_archsim::reuse::ReuseDistanceDist;
+use softsku_archsim::stream::{
+    BranchProfile, ContextSwitchProfile, InstructionMix, PageProfile, PrefetchAffinity,
+    StreamSpec,
+};
+
+/// Mid-range direct context-switch cost bounds in µs, from the prior work
+/// the paper cites (Tsafrir; Li/Ding/Shen).
+pub const CS_COST_US: (f64, f64) = (1.2, 2.4);
+
+/// Per-service "texture": the model parameters the paper's tables do not
+/// pin down directly (footprints, prefetchability, page packing, SMT/MLP
+/// yields). Chosen per service to reproduce the paper's qualitative story;
+/// see `microservices.rs` for the values and their justifications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceTexture {
+    /// Distinct code cache lines ever touched.
+    pub code_footprint_lines: u64,
+    /// Distinct data cache lines ever touched.
+    pub data_footprint_lines: u64,
+    /// Distinct 4 KiB code pages.
+    pub code_page_footprint: u64,
+    /// Distinct 4 KiB data pages.
+    pub data_page_footprint: u64,
+    /// Warm branch sites (BTB pressure).
+    pub branch_working_set: u32,
+    /// Direction-predictor baseline misprediction rate.
+    pub base_mispredict: f64,
+    /// Prefetchable-pattern fractions.
+    pub prefetch: PrefetchAffinity,
+    /// Data/code huge-page packing densities and THP/SHP traits.
+    pub pages: PageProfile,
+    /// Context-switch cache/TLB pollution per switch.
+    pub cs_pollution: f64,
+    /// Memory-level parallelism.
+    pub mlp: f64,
+    /// SMT throughput yield.
+    pub smt_gain: f64,
+    /// Base-CPI calibration multiplier (tunes absolute IPC to Fig. 6).
+    pub base_cpi_scale: f64,
+    /// Writeback factor for the bandwidth model.
+    pub writeback_factor: f64,
+    /// Traffic burstiness (Fig. 12 above-curve services).
+    pub burstiness: f64,
+    /// LLC contention coefficient (Fig. 15 roll-off).
+    pub llc_contention: f64,
+    /// Natural competitive code share of the LLC (see `StreamSpec`).
+    pub natural_code_llc_share: f64,
+    /// Non-demand memory traffic per kilo-instruction (DMA, kernel I/O;
+    /// calibrates Fig. 12 bandwidth).
+    pub extra_mem_lines_per_ki: f64,
+    /// Prefetcher-attributable fraction of the extra traffic.
+    pub extra_traffic_prefetch_fraction: f64,
+    /// Exposed fraction of front-end miss latency (see `StreamSpec`).
+    pub frontend_exposure: f64,
+    /// Branch taken rate.
+    pub taken_rate: f64,
+}
+
+/// Builds the full [`StreamSpec`] for a service characterized on
+/// `characterization_platform`.
+///
+/// # Errors
+///
+/// Propagates distribution-construction errors as
+/// [`WorkloadError::Calibration`]; these indicate an inconsistent target
+/// table (non-monotone MPKI) and are caught by unit tests.
+pub fn build_stream_spec(
+    targets: &ServiceTargets,
+    texture: &ServiceTexture,
+    characterization_platform: &PlatformSpec,
+) -> Result<StreamSpec, WorkloadError> {
+    let mix = InstructionMix::from_percent(
+        targets.mix_pct[0],
+        targets.mix_pct[1],
+        targets.mix_pct[2],
+        targets.mix_pct[3],
+        targets.mix_pct[4],
+    )
+    .map_err(|e| WorkloadError::Calibration {
+        service: targets.name,
+        detail: e.to_string(),
+    })?;
+    let mem_frac = mix.memory_fraction().max(0.05);
+
+    let plat = characterization_platform;
+    // Effective LLC lines seen by one core under production contention.
+    let contending = plat.cores_per_socket as f64;
+    let share = 1.0 / (1.0 + (contending - 1.0) * texture.llc_contention);
+    let llc_eff = (plat.llc.lines() as f64 * share).max(1.0);
+    let nat = texture.natural_code_llc_share.clamp(0.05, 0.95);
+    let code_cap = (llc_eff * nat) as u64;
+    let data_cap = (llc_eff * (1.0 - nat)) as u64;
+
+    // Code stream: one fetch per instruction.
+    // The unified L2 is shared by both streams; anchor each at its
+    // competitive share, estimated from the relative L1 miss intensities
+    // (the streams' reference rates into L2).
+    let code_l2_refs = targets.code_mpki[0];
+    let data_l2_refs = targets.data_mpki[0];
+    let code_l2_share = (code_l2_refs / (code_l2_refs + data_l2_refs)).clamp(0.2, 0.8);
+    let l2_code_eff = (plat.l2.lines() as f64 * code_l2_share) as u64;
+    let l2_data_eff = (plat.l2.lines() as f64 * (1.0 - code_l2_share)) as u64;
+    let code_reuse = dist_through(
+        &[
+            (plat.l1i.lines(), targets.code_mpki[0] / 1000.0),
+            (l2_code_eff, targets.code_mpki[1] / 1000.0),
+            (code_cap, targets.code_mpki[2] / 1000.0),
+        ],
+        texture.code_footprint_lines,
+        targets.name,
+    )?;
+
+    // Data stream: loads+stores per instruction.
+    let data_reuse = dist_through(
+        &[
+            (plat.l1d.lines(), targets.data_mpki[0] / 1000.0 / mem_frac),
+            (l2_data_eff, targets.data_mpki[1] / 1000.0 / mem_frac),
+            (data_cap, targets.data_mpki[2] / 1000.0 / mem_frac),
+        ],
+        texture.data_footprint_lines,
+        targets.name,
+    )?;
+
+    // Page streams: first-level TLB miss targets at the TLB capacities, with
+    // the STLB expected to absorb ~3/4 of the repeats.
+    //
+    // The paper's Fig. 11 was measured in *production*, where madvise-honoured
+    // THP (and, for Web, 200 SHPs) already routes part of the translations to
+    // the huge-page arrays. The 4 KiB-side survival anchors must therefore be
+    // inflated by the fraction of traffic the production policy leaves on the
+    // 4 KiB path, or the simulated production point would undershoot Fig. 11.
+    let itlb_inflation = if texture.pages.uses_shp { 2.0 } else { 1.0 };
+    let code_page_reuse = dist_through(
+        &[
+            (
+                plat.itlb.entries_4k as u64,
+                targets.itlb_mpki / 1000.0 * itlb_inflation,
+            ),
+            (
+                plat.stlb_entries as u64,
+                targets.itlb_mpki / 1000.0 * itlb_inflation * 0.25,
+            ),
+        ],
+        texture.code_page_footprint,
+        targets.name,
+    )?;
+    let dtlb_inflation = 1.0 / (1.0 - 0.55 * texture.pages.madvise_fraction);
+    let dtlb_total = (targets.dtlb_mpki[0] + targets.dtlb_mpki[1]) * dtlb_inflation;
+    let data_page_reuse = dist_through(
+        &[
+            (plat.dtlb.entries_4k as u64, dtlb_total / 1000.0 / mem_frac),
+            (
+                plat.stlb_entries as u64,
+                dtlb_total / 1000.0 / mem_frac * 0.25,
+            ),
+        ],
+        texture.data_page_footprint,
+        targets.name,
+    )?;
+
+    // Context-switch rate inverted from the Fig. 4 midpoint: pct/100 =
+    // rate × mid-cost, with the rate defined at peak load (the engine scales
+    // it by the load fraction, and the Fig. 4 measurement is at the peak
+    // utilization of Fig. 3).
+    let mid_pct = 0.5 * (targets.cs_time_pct.0 + targets.cs_time_pct.1);
+    let mid_cost_s = 0.5 * (CS_COST_US.0 + CS_COST_US.1) * 1e-6;
+    let cs_rate = mid_pct / 100.0 / mid_cost_s / (targets.cpu_util_pct / 100.0).max(0.1);
+
+    let spec = StreamSpec {
+        name: targets.name.to_lowercase(),
+        mix,
+        code_reuse,
+        data_reuse,
+        code_page_reuse,
+        data_page_reuse,
+        branch: BranchProfile {
+            taken_rate: texture.taken_rate,
+            base_mispredict: texture.base_mispredict,
+            branch_working_set: texture.branch_working_set,
+        },
+        prefetch: texture.prefetch,
+        pages: texture.pages,
+        context_switch: ContextSwitchProfile {
+            rate_per_sec: cs_rate,
+            direct_cost_us_low: CS_COST_US.0,
+            direct_cost_us_high: CS_COST_US.1,
+            pollution_fraction: texture.cs_pollution,
+        },
+        mlp: texture.mlp,
+        smt_gain: texture.smt_gain,
+        base_cpi_scale: texture.base_cpi_scale,
+        writeback_factor: texture.writeback_factor,
+        burstiness: texture.burstiness,
+        llc_contention: texture.llc_contention,
+        natural_code_llc_share: nat,
+        extra_mem_lines_per_ki: texture.extra_mem_lines_per_ki,
+        extra_traffic_prefetch_fraction: texture.extra_traffic_prefetch_fraction,
+        frontend_exposure: texture.frontend_exposure,
+    };
+    spec.validate().map_err(|e| WorkloadError::Calibration {
+        service: targets.name,
+        detail: e.to_string(),
+    })?;
+    Ok(spec)
+}
+
+/// Builds a reuse-distance distribution through the given `(capacity,
+/// survival)` anchors, sanitizing them into the strictly-monotone form the
+/// constructor demands (target tables are approximate transcriptions and may
+/// have flat segments).
+fn dist_through(
+    anchors: &[(u64, f64)],
+    footprint: u64,
+    service: &'static str,
+) -> Result<ReuseDistanceDist, WorkloadError> {
+    let mut pts: Vec<(u64, f64)> = Vec::new();
+    let mut last_d = 1u64;
+    let mut last_p = 1.0f64;
+    for &(d, p) in anchors {
+        let d = d.max(last_d + 1).min(footprint - 1);
+        if d <= last_d {
+            continue; // anchor collapsed into the previous one
+        }
+        let p = p.clamp(1e-7, last_p * 0.999);
+        pts.push((d, p));
+        last_d = d;
+        last_p = p;
+    }
+    let cold = (last_p * 0.4).max(1e-8);
+    ReuseDistanceDist::from_survival_points(&pts, cold, footprint).map_err(|e| {
+        WorkloadError::Calibration {
+            service,
+            detail: e.to_string(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib;
+
+    fn texture() -> ServiceTexture {
+        ServiceTexture {
+            code_footprint_lines: 1 << 20,
+            data_footprint_lines: 1 << 21,
+            code_page_footprint: 100_000,
+            data_page_footprint: 60_000,
+            branch_working_set: 4000,
+            base_mispredict: 0.02,
+            prefetch: PrefetchAffinity::modest(),
+            pages: PageProfile {
+                data_compaction: 8.0,
+                code_compaction: 256.0,
+                madvise_fraction: 0.25,
+                uses_shp: true,
+                shp_target_bytes: 600 << 20,
+            },
+            cs_pollution: 0.1,
+            mlp: 3.0,
+            smt_gain: 0.3,
+            base_cpi_scale: 1.0,
+            writeback_factor: 0.4,
+            burstiness: 1.0,
+            llc_contention: 0.12,
+            natural_code_llc_share: 0.35,
+            extra_mem_lines_per_ki: 5.0,
+            extra_traffic_prefetch_fraction: 0.3,
+            frontend_exposure: 0.6,
+            taken_rate: 0.6,
+        }
+    }
+
+    #[test]
+    fn web_spec_builds_and_validates() {
+        let spec = build_stream_spec(
+            &calib::WEB,
+            &texture(),
+            &PlatformSpec::skylake18(),
+        )
+        .unwrap();
+        assert_eq!(spec.name, "web");
+        spec.validate().unwrap();
+        // Survival anchors visible in the analytic miss ratios.
+        let l1i_mr = spec.code_reuse.miss_ratio(512);
+        assert!((l1i_mr - 0.085).abs() < 0.002, "L1i anchor: {l1i_mr}");
+    }
+
+    #[test]
+    fn cs_rate_inverts_fig4_midpoint() {
+        let spec = build_stream_spec(&calib::CACHE1, &texture(), &PlatformSpec::skylake20())
+            .unwrap();
+        // Cache1 midpoint: 13% of CPU time at 1.8 µs/switch, normalized by
+        // the 60% peak utilization ≈ 120k switches/s.
+        let r = spec.context_switch.rate_per_sec;
+        assert!((100_000.0..145_000.0).contains(&r), "rate {r}");
+        let web = build_stream_spec(&calib::WEB, &texture(), &PlatformSpec::skylake18())
+            .unwrap();
+        assert!(web.context_switch.rate_per_sec < 30_000.0);
+    }
+
+    #[test]
+    fn all_services_build() {
+        for t in calib::ALL_SERVICES {
+            build_stream_spec(t, &texture(), &PlatformSpec::skylake18())
+                .unwrap_or_else(|e| panic!("{}: {e}", t.name));
+        }
+    }
+
+    #[test]
+    fn degenerate_anchors_are_sanitized() {
+        // Flat MPKI across levels must still produce a valid distribution.
+        let mut t = calib::WEB;
+        t.code_mpki = [5.0, 5.0, 5.0];
+        t.data_mpki = [5.0, 5.0, 5.0];
+        let spec = build_stream_spec(&t, &texture(), &PlatformSpec::skylake18()).unwrap();
+        spec.validate().unwrap();
+    }
+}

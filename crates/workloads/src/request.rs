@@ -1,0 +1,179 @@
+//! Request-level behaviour: latency breakdown, queueing, and QoS.
+//!
+//! Covers the system-level half of the characterization: Fig. 2's
+//! running/blocked split (with Web's queue/scheduler/IO sub-split), Table 2's
+//! throughput/latency/path-length orders, and the QoS constraints that cap
+//! CPU utilization in Fig. 3.
+
+use crate::error::WorkloadError;
+
+/// Where an average request spends its wall-clock time (fractions sum to 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestBreakdown {
+    /// Executing instructions.
+    pub running: f64,
+    /// Waiting for a worker thread (admission queue).
+    pub queue: f64,
+    /// Runnable but de-scheduled (thread over-subscription).
+    pub scheduler: f64,
+    /// Blocked on downstream microservices or I/O.
+    pub io: f64,
+}
+
+impl RequestBreakdown {
+    /// Creates a breakdown from percentages, validating the sum.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::Calibration`] if the four values do not sum to 100.
+    pub fn from_percent(
+        service: &'static str,
+        running: f64,
+        queue: f64,
+        scheduler: f64,
+        io: f64,
+    ) -> Result<Self, WorkloadError> {
+        let sum = running + queue + scheduler + io;
+        if (sum - 100.0).abs() > 1e-6 {
+            return Err(WorkloadError::Calibration {
+                service,
+                detail: format!("request breakdown sums to {sum}, expected 100"),
+            });
+        }
+        Ok(RequestBreakdown {
+            running: running / 100.0,
+            queue: queue / 100.0,
+            scheduler: scheduler / 100.0,
+            io: io / 100.0,
+        })
+    }
+
+    /// Fraction of request time blocked (everything but running) — the
+    /// Fig. 2a quantity.
+    pub fn blocked(&self) -> f64 {
+        1.0 - self.running
+    }
+}
+
+/// Request-level profile of one service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestProfile {
+    /// Latency breakdown; `None` for the Cache tiers, whose concurrent
+    /// execution paths cannot be apportioned (paper Sec. 2.3.2).
+    pub breakdown: Option<RequestBreakdown>,
+    /// Average request latency at peak load, seconds (Table 2 order).
+    pub avg_latency_s: f64,
+    /// Peak sustainable throughput, queries/s (Table 2 order).
+    pub peak_qps: f64,
+    /// End-to-end path length label, instructions/query (Table 2 order; see
+    /// DESIGN.md on why this is a label, not a simulator input).
+    pub path_length_insn: f64,
+    /// QoS headroom: latency may grow to `qos_slack × avg_latency_s` before
+    /// the SLO is violated and the load balancer sheds load.
+    pub qos_slack: f64,
+}
+
+impl RequestProfile {
+    /// The QoS latency ceiling in seconds.
+    pub fn qos_latency_s(&self) -> f64 {
+        self.avg_latency_s * self.qos_slack
+    }
+}
+
+/// Erlang-C probability that an arriving job waits, for `c` servers at
+/// offered load `a = λ/µ` (dimensionless). Computed with the standard
+/// numerically-stable recurrence on the Erlang-B blocking probability.
+///
+/// # Panics
+///
+/// Panics if `c == 0`.
+pub fn erlang_c(c: u32, a: f64) -> f64 {
+    assert!(c > 0, "need at least one server");
+    if a <= 0.0 {
+        return 0.0;
+    }
+    let rho = a / c as f64;
+    if rho >= 1.0 {
+        return 1.0;
+    }
+    // Erlang-B recurrence: B(0) = 1; B(k) = a·B(k−1) / (k + a·B(k−1)).
+    let mut b = 1.0;
+    for k in 1..=c {
+        b = a * b / (k as f64 + a * b);
+    }
+    // C = B / (1 − ρ(1 − B)).
+    b / (1.0 - rho * (1.0 - b))
+}
+
+/// Mean queueing delay factor for an M/M/c system: `W_q / service_time`
+/// at utilization `rho` with `c` servers. Returns a multiplier on the
+/// service time; total latency ≈ `service_time × (1 + factor)`.
+pub fn mmc_wait_factor(rho: f64, c: u32) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    let a = rho * c as f64;
+    erlang_c(c, a) / (c as f64 * (1.0 - rho))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_validates_sum() {
+        let b = RequestBreakdown::from_percent("Web", 28.0, 10.0, 28.0, 34.0).unwrap();
+        assert!((b.blocked() - 0.72).abs() < 1e-12);
+        assert!(RequestBreakdown::from_percent("Web", 28.0, 10.0, 28.0, 30.0).is_err());
+    }
+
+    #[test]
+    fn erlang_c_known_values() {
+        // Single server: C = ρ.
+        for &rho in &[0.1, 0.5, 0.9] {
+            assert!((erlang_c(1, rho) - rho).abs() < 1e-12);
+        }
+        // Textbook: c = 2, a = 1 (ρ = 0.5) ⇒ C = 1/3.
+        assert!((erlang_c(2, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+        // Saturation.
+        assert_eq!(erlang_c(4, 4.0), 1.0);
+        assert_eq!(erlang_c(4, 0.0), 0.0);
+    }
+
+    #[test]
+    fn wait_factor_explodes_near_saturation() {
+        let low = mmc_wait_factor(0.3, 8);
+        let mid = mmc_wait_factor(0.7, 8);
+        let high = mmc_wait_factor(0.95, 8);
+        assert!(low < mid && mid < high);
+        assert!(high > 10.0 * mid, "convex blow-up: {high} vs {mid}");
+        assert_eq!(mmc_wait_factor(1.0, 8), f64::INFINITY);
+    }
+
+    #[test]
+    fn more_servers_less_waiting_at_same_rho() {
+        // Pooling effect: at equal utilization, larger clusters wait less.
+        assert!(mmc_wait_factor(0.8, 32) < mmc_wait_factor(0.8, 2));
+    }
+
+    #[test]
+    fn qos_ceiling() {
+        let p = RequestProfile {
+            breakdown: None,
+            avg_latency_s: 0.05,
+            peak_qps: 500.0,
+            path_length_insn: 9e6,
+            qos_slack: 1.5,
+        };
+        assert!((p.qos_latency_s() - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn erlang_zero_servers_panics() {
+        erlang_c(0, 1.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests on workload-model construction and load generation.
+
+use proptest::prelude::*;
+use softsku_workloads::calib::{ServiceTargets, WEB};
+use softsku_workloads::loadgen::{CodeEvolution, LoadGenerator};
+use softsku_workloads::profile::{build_stream_spec, ServiceTexture};
+use softsku_archsim::platform::PlatformSpec;
+use softsku_archsim::stream::{PageProfile, PrefetchAffinity};
+
+fn texture() -> ServiceTexture {
+    ServiceTexture {
+        code_footprint_lines: 1 << 19,
+        data_footprint_lines: 1 << 20,
+        code_page_footprint: 50_000,
+        data_page_footprint: 50_000,
+        branch_working_set: 4000,
+        base_mispredict: 0.02,
+        prefetch: PrefetchAffinity::modest(),
+        pages: PageProfile {
+            data_compaction: 16.0,
+            code_compaction: 64.0,
+            madvise_fraction: 0.3,
+            uses_shp: false,
+            shp_target_bytes: 0,
+        },
+        cs_pollution: 0.1,
+        mlp: 4.0,
+        smt_gain: 0.3,
+        base_cpi_scale: 1.0,
+        writeback_factor: 0.4,
+        burstiness: 1.0,
+        llc_contention: 0.15,
+        natural_code_llc_share: 0.3,
+        extra_mem_lines_per_ki: 10.0,
+        extra_traffic_prefetch_fraction: 0.2,
+        frontend_exposure: 0.5,
+        taken_rate: 0.6,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The profile builder tolerates broad perturbations of the target
+    /// tables without producing invalid stream specifications — the property
+    /// the code-evolution machinery relies on.
+    #[test]
+    fn perturbed_targets_still_build(
+        scale_l1 in 0.3f64..3.0,
+        scale_l2 in 0.3f64..3.0,
+        scale_llc in 0.3f64..3.0,
+        scale_tlb in 0.3f64..3.0,
+    ) {
+        let mut t: ServiceTargets = WEB;
+        t.code_mpki = [
+            (t.code_mpki[0] * scale_l1).min(400.0),
+            (t.code_mpki[1] * scale_l2).min(t.code_mpki[0] * scale_l1 * 0.9),
+            (t.code_mpki[2] * scale_llc).min(t.code_mpki[1] * scale_l2 * 0.9),
+        ];
+        t.data_mpki = [
+            (t.data_mpki[0] * scale_l1).min(400.0),
+            (t.data_mpki[1] * scale_l2).min(t.data_mpki[0] * scale_l1 * 0.9),
+            (t.data_mpki[2] * scale_llc).min(t.data_mpki[1] * scale_l2 * 0.9),
+        ];
+        t.itlb_mpki = (t.itlb_mpki * scale_tlb).min(200.0);
+        t.dtlb_mpki = [t.dtlb_mpki[0] * scale_tlb, t.dtlb_mpki[1] * scale_tlb];
+        let spec = build_stream_spec(&t, &texture(), &PlatformSpec::skylake18()).unwrap();
+        spec.validate().unwrap();
+    }
+
+    /// Load values always stay in the generator's documented bounds, for any
+    /// parameterization.
+    #[test]
+    fn load_is_always_bounded(
+        base in 0.0f64..1.5,
+        amp in 0.0f64..1.5,
+        noise in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let mut lg = LoadGenerator::new(base, amp, 86_400.0, noise, seed);
+        for i in 0..500 {
+            let l = lg.load_at(i as f64 * 60.0);
+            prop_assert!((0.05..=1.0).contains(&l), "load {l}");
+        }
+    }
+
+    /// Code pushes are bounded perturbations at any rate/magnitude, and a
+    /// zero rate produces none.
+    #[test]
+    fn pushes_are_bounded(rate in 0.0f64..50.0, mag in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut ev = CodeEvolution::new(rate, mag, seed);
+        let mut t = 0.0;
+        let mut seen = 0;
+        for _ in 0..200 {
+            t += 600.0;
+            while let Some(p) = ev.push_before(t) {
+                prop_assert!((0.9..=1.1).contains(&p.cpi_scale));
+                prop_assert!((0.9..=1.1).contains(&p.miss_scale));
+                seen += 1;
+            }
+        }
+        if rate == 0.0 {
+            prop_assert_eq!(seen, 0);
+        }
+    }
+}

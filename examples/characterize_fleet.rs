@@ -1,0 +1,51 @@
+//! Fleet characterization: the paper's Sec. 2 study, reproduced.
+//!
+//! ```text
+//! cargo run --release --example characterize_fleet
+//! ```
+//!
+//! Runs every production microservice at its peak operating point on its
+//! characterization platform and prints the system-level and architectural
+//! traits the paper reports: IPC, TMAM split, cache/TLB MPKI, bandwidth,
+//! context-switch time, and the QoS-capped utilization.
+
+use softsku::archsim::engine::Engine;
+use softsku::workloads::Microservice;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<8} {:>5} {:>22} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>9} {:>8} {:>6}",
+        "service", "IPC", "TMAM r/f/b/b (%)", "L1i", "LLCc", "LLCd", "ITLB", "DTLB", "util%", "bw(GB/s)", "lat(ns)", "cs%"
+    );
+    for service in Microservice::ALL {
+        let platform = service.default_platform();
+        let profile = service.profile(platform)?;
+        let engine = Engine::new(profile.production_config.clone(), profile.stream.clone(), 42)?;
+        let report = engine.run_window(400_000, profile.peak_utilization)?;
+        let c = &report.counters;
+        let t = report.tmam.as_percentages();
+        println!(
+            "{:<8} {:>5.2} {:>6.0}/{:>3.0}/{:>3.0}/{:>3.0} {:>12.1} {:>7.2} {:>7.2} {:>7.1} {:>6.1} {:>6.0} {:>9.1} {:>8.0} {:>6.1}",
+            service.name(),
+            report.ipc_core,
+            t[0], t[1], t[2], t[3],
+            c.l1i_code_mpki(),
+            c.llc_code_mpki(),
+            c.llc_data_mpki(),
+            c.itlb_mpki(),
+            c.dtlb_load_mpki() + c.dtlb_store_mpki(),
+            profile.peak_utilization * 100.0,
+            report.bandwidth_gbps,
+            report.mem_latency_ns,
+            report.context_switch_fraction * 100.0,
+        );
+    }
+
+    println!("\nKey diversity findings (paper Sec. 2.5):");
+    println!("  * Web and the Cache tiers are front-end bound; Feed1/Ads are back-end bound.");
+    println!("  * Web is the only service with substantial LLC *code* misses (JIT code cache).");
+    println!("  * Cache tiers spend up to ~18% of CPU time context switching.");
+    println!("  * Feed1 is FP-dominated; Web and Cache execute no floating point at all.");
+    println!("  * Every service under-utilizes memory bandwidth to protect its latency SLO.");
+    Ok(())
+}

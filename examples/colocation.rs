@@ -1,0 +1,74 @@
+//! Co-location and µSKU-aware scheduling (paper Sec. 7 future work).
+//!
+//! ```text
+//! cargo run --release --example colocation
+//! ```
+//!
+//! The paper's services run on dedicated bare metal; Sec. 7 asks what a
+//! scheduler that understands each service's architectural appetite could do
+//! under co-location. This example couples pairs of services through the
+//! shared LLC and memory queue, shows who hurts whom, and lets the toy
+//! scheduler place four services onto two servers.
+
+use softsku::cluster::colocation::{best_pairing, ColocatedPair};
+use softsku::workloads::Microservice;
+
+const WINDOW: u64 = 150_000;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Pairwise interference on Skylake18 (9 + 9 cores):\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>10}",
+        "pair", "retention A", "retention B", "socket ρ"
+    );
+    let pairs = [
+        (Microservice::Web, Microservice::Feed1),
+        (Microservice::Web, Microservice::Feed2),
+        (Microservice::Feed1, Microservice::Ads1),
+        (Microservice::Feed2, Microservice::Ads1),
+    ];
+    for (a, b) in pairs {
+        let pair = ColocatedPair::new(
+            a.profile(a.default_platform())?,
+            b.profile(b.default_platform())?,
+            9,
+            9,
+            WINDOW,
+            42,
+        )?;
+        let out = pair.evaluate()?;
+        println!(
+            "{:<18} {:>11.1}% {:>11.1}% {:>9.0}%",
+            format!("{a}+{b}"),
+            out.retention_a * 100.0,
+            out.retention_b * 100.0,
+            out.socket_mem_utilization * 100.0
+        );
+    }
+
+    println!("\nScheduling Web, Feed1, Feed2, Ads1 onto two servers:");
+    let pairing = best_pairing(
+        [
+            Microservice::Web,
+            Microservice::Feed1,
+            Microservice::Feed2,
+            Microservice::Ads1,
+        ],
+        WINDOW,
+        42,
+    )?;
+    println!(
+        "  best pairing: [{} + {}] and [{} + {}]  (total retention {:.2} / 4.00)",
+        pairing.server1.0,
+        pairing.server1.1,
+        pairing.server2.0,
+        pairing.server2.1,
+        pairing.total_retention
+    );
+    println!(
+        "\nEach service's knob preferences survive co-location — a µSKU-aware\n\
+         scheduler would co-locate services whose soft SKUs agree (and whose\n\
+         bandwidth appetites do not collide)."
+    );
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Quickstart: run µSKU end-to-end on the Web microservice.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Parses the paper's three-parameter input file, sweeps a compact knob
+//! subset with the A/B tester, composes the soft SKU, and prints the report
+//! (per-knob winners, composite gain vs stock/production, fleet validation).
+
+use softsku::usku::{InputFile, Usku, UskuConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Sec. 4 input file: target microservice, platform, sweep.
+    let input = InputFile::parse(
+        "\
+# µSKU input file
+microservice = web
+platform     = skylake18
+sweep        = independent
+knobs        = thp, shp, cdp
+seed         = 42
+",
+    )?;
+
+    println!(
+        "Tuning {} on {} with a {} sweep…\n",
+        input.microservice, input.platform, input.sweep
+    );
+
+    // Paper-scale budgets take simulated hours; this quickstart uses a
+    // reduced configuration that finishes in well under a minute.
+    let mut config = UskuConfig::fast_test();
+    config.validate_days = 1.0;
+    let report = Usku::with_config(input, config).run()?;
+
+    println!("{}", report.render());
+    println!("Design-space map:\n{}", report.map.render());
+    Ok(())
+}

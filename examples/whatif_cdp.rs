@@ -1,0 +1,63 @@
+//! What-if study: LLC code/data prioritization on two hardware generations.
+//!
+//! ```text
+//! cargo run --release --example whatif_cdp
+//! ```
+//!
+//! The paper's most interesting knob asymmetry (Figs. 16–17): partitioning
+//! LLC ways between code and data buys Web ~4.5% on Skylake, but nothing on
+//! Broadwell — the older platform is memory-bandwidth saturated, so CDP's
+//! trade (fewer code misses for more data misses, i.e. *more total traffic*)
+//! has no headroom to pay for itself. This example sweeps the partition on
+//! both platforms directly against the simulator, bypassing the A/B
+//! machinery, so the raw mechanics are visible.
+
+use softsku::archsim::cache::CdpPartition;
+use softsku::archsim::engine::Engine;
+use softsku::workloads::{Microservice, PlatformKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for platform in [PlatformKind::Skylake18, PlatformKind::Broadwell16] {
+        let profile = Microservice::Web.profile(platform)?;
+        let production = profile.production_config.clone();
+
+        let run = |cfg: &softsku::archsim::engine::ServerConfig| {
+            let engine = Engine::new(cfg.clone(), profile.stream.clone(), 42)
+                .expect("valid configuration");
+            engine
+                .run_window(300_000, profile.peak_utilization)
+                .expect("window simulates")
+        };
+
+        let base = run(&production);
+        println!(
+            "\nWeb on {platform}: production (CDP off) = {:.0} MIPS, mem util {:.0}%{}",
+            base.mips_total,
+            base.mem_utilization * 100.0,
+            if base.bandwidth_bound { "  [bandwidth-bound]" } else { "" }
+        );
+        println!(
+            "{:>10} {:>9} {:>9} {:>9} {:>9}",
+            "{data,code}", "ΔMIPS%", "LLCc", "LLCd", "lat(ns)"
+        );
+        for partition in CdpPartition::sweep(production.llc_ways_enabled) {
+            let mut cfg = production.clone();
+            cfg.cdp = Some(partition);
+            let r = run(&cfg);
+            println!(
+                "{:>10} {:>+8.1}% {:>9.2} {:>9.2} {:>9.0}",
+                partition.to_string(),
+                (r.mips_total / base.mips_total - 1.0) * 100.0,
+                r.counters.llc_code_mpki(),
+                r.counters.llc_data_mpki(),
+                r.mem_latency_ns,
+            );
+        }
+    }
+    println!(
+        "\nReading: on Skylake the interior partitions win (code misses are expensive,\n\
+         unhidden front-end stalls); on Broadwell every partition fights the bandwidth\n\
+         wall, so the paper's µSKU leaves CDP off there."
+    );
+    Ok(())
+}

@@ -1,0 +1,193 @@
+//! Integration: the simulated fleet reproduces the paper's Sec. 2
+//! characterization within tolerance (DESIGN.md §5: orderings and shapes are
+//! the claims under test; absolute values carry generous bands).
+
+use softsku::archsim::engine::{Engine, WindowReport};
+use softsku::workloads::Microservice;
+
+const WINDOW: u64 = 250_000;
+
+fn peak(service: Microservice) -> WindowReport {
+    let profile = service.profile(service.default_platform()).unwrap();
+    let engine = Engine::new(profile.production_config.clone(), profile.stream, 42).unwrap();
+    engine.run_window(WINDOW, profile.peak_utilization).unwrap()
+}
+
+/// |measured − target| / target within `tol`.
+fn close(measured: f64, target: f64, tol: f64) -> bool {
+    if target == 0.0 {
+        return measured.abs() < 0.5;
+    }
+    (measured - target).abs() / target.abs() <= tol
+}
+
+#[test]
+fn ipc_matches_fig6_within_15_percent() {
+    for service in Microservice::ALL {
+        let r = peak(service);
+        let target = service.targets().ipc;
+        assert!(
+            close(r.ipc_core, target, 0.15),
+            "{}: IPC {:.2} vs target {:.2}",
+            service.name(),
+            r.ipc_core,
+            target
+        );
+    }
+}
+
+#[test]
+fn cache_mpki_matches_figs8_and_9() {
+    for service in Microservice::ALL {
+        let r = peak(service);
+        let t = service.targets();
+        let c = &r.counters;
+        assert!(
+            close(c.l1i_code_mpki(), t.code_mpki[0], 0.25),
+            "{}: L1i {:.1} vs {:.1}",
+            service.name(),
+            c.l1i_code_mpki(),
+            t.code_mpki[0]
+        );
+        assert!(
+            close(c.l1d_data_mpki(), t.data_mpki[0], 0.25),
+            "{}: L1d {:.1} vs {:.1}",
+            service.name(),
+            c.l1d_data_mpki(),
+            t.data_mpki[0]
+        );
+        assert!(
+            close(c.llc_data_mpki(), t.data_mpki[2], 0.35),
+            "{}: LLCd {:.2} vs {:.2}",
+            service.name(),
+            c.llc_data_mpki(),
+            t.data_mpki[2]
+        );
+    }
+}
+
+#[test]
+fn web_is_the_llc_code_miss_outlier() {
+    // Fig. 9's headline: Web has non-negligible LLC code misses; all other
+    // services sit well below it.
+    let web = peak(Microservice::Web).counters.llc_code_mpki();
+    assert!(web > 1.0, "Web LLC code MPKI {web}");
+    for service in [
+        Microservice::Feed1,
+        Microservice::Feed2,
+        Microservice::Ads2,
+    ] {
+        let other = peak(service).counters.llc_code_mpki();
+        assert!(
+            other < web * 0.5,
+            "{} LLC code {:.2} should be well below Web's {:.2}",
+            service.name(),
+            other,
+            web
+        );
+    }
+}
+
+#[test]
+fn tlb_behaviour_matches_fig11() {
+    // Web's ITLB MPKI towers over everyone (JIT code cache); the Cache tiers
+    // come second; leaves are negligible.
+    let web = peak(Microservice::Web).counters.itlb_mpki();
+    let cache1 = peak(Microservice::Cache1).counters.itlb_mpki();
+    let feed1 = peak(Microservice::Feed1).counters.itlb_mpki();
+    assert!(web > cache1 && cache1 > feed1, "ITLB: web {web:.1}, cache1 {cache1:.1}, feed1 {feed1:.1}");
+    assert!(web > 10.0);
+    assert!(feed1 < 1.0);
+}
+
+#[test]
+fn tmam_orderings_match_fig7() {
+    // Front-end bound leaders: Web and the Cache tiers (~37% in the paper).
+    // Feed1 is the retiring/backend champion with minimal bad speculation.
+    let web = peak(Microservice::Web).tmam;
+    let cache1 = peak(Microservice::Cache1).tmam;
+    let feed1 = peak(Microservice::Feed1).tmam;
+    assert!(web.frontend > 0.30, "Web FE {:.2}", web.frontend);
+    assert!(cache1.frontend > 0.28, "Cache1 FE {:.2}", cache1.frontend);
+    assert!(feed1.frontend < 0.12, "Feed1 FE {:.2}", feed1.frontend);
+    assert!(feed1.retiring > web.retiring, "Feed1 retires more than Web");
+    assert!(feed1.bad_speculation < 0.05, "Feed1 barely mispredicts");
+    // Retiring stays in the paper's 10–45% band for every service.
+    for service in Microservice::ALL {
+        let t = peak(service).tmam;
+        assert!(
+            (0.10..0.50).contains(&t.retiring),
+            "{} retiring {:.2}",
+            service.name(),
+            t.retiring
+        );
+    }
+}
+
+#[test]
+fn context_switch_time_matches_fig4_ranges() {
+    for service in Microservice::ALL {
+        let r = peak(service);
+        let t = service.targets();
+        let measured = r.context_switch_fraction * 100.0;
+        // Within the paper's (low, high) band, stretched slightly.
+        assert!(
+            measured >= t.cs_time_pct.0 * 0.4 && measured <= t.cs_time_pct.1 * 1.4,
+            "{}: cs {measured:.1}% outside [{}, {}]",
+            service.name(),
+            t.cs_time_pct.0,
+            t.cs_time_pct.1
+        );
+    }
+    // Cache tiers dominate.
+    let cache = peak(Microservice::Cache1).context_switch_fraction;
+    let feed = peak(Microservice::Feed1).context_switch_fraction;
+    assert!(cache > 8.0 * feed);
+}
+
+#[test]
+fn bandwidth_operating_points_match_fig12() {
+    for service in Microservice::ALL {
+        let r = peak(service);
+        let t = service.targets();
+        assert!(
+            close(r.bandwidth_gbps, t.bw_gbps, 0.35),
+            "{}: bw {:.1} vs {:.1}",
+            service.name(),
+            r.bandwidth_gbps,
+            t.bw_gbps
+        );
+        // No service saturates its platform (they protect QoS).
+        assert!(
+            r.mem_utilization < 0.9,
+            "{}: util {:.2}",
+            service.name(),
+            r.mem_utilization
+        );
+    }
+    // Ads services operate above the smooth curve (burstiness).
+    let ads1 = peak(Microservice::Ads1);
+    assert!(
+        ads1.mem_latency_ns > 180.0,
+        "Ads1 bursty latency {:.0}",
+        ads1.mem_latency_ns
+    );
+}
+
+#[test]
+fn fig1_diversity_ranges_hold() {
+    // The figure's point: orders-of-magnitude diversity in system traits,
+    // meaningful diversity in architectural ones.
+    let qps: Vec<f64> = Microservice::ALL.iter().map(|s| s.targets().table2.0).collect();
+    let ratio = qps.iter().cloned().fold(f64::MIN, f64::max)
+        / qps.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(ratio >= 1e4, "QPS diversity {ratio:.0}x");
+
+    let ipc: Vec<f64> = Microservice::ALL.iter().map(|s| peak(*s).ipc_core).collect();
+    let ipc_ratio = ipc.iter().cloned().fold(f64::MIN, f64::max)
+        / ipc.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        (2.0..6.0).contains(&ipc_ratio),
+        "IPC diversity {ipc_ratio:.1}x"
+    );
+}

@@ -1,0 +1,219 @@
+//! Integration: the knob-response shapes behind Figs. 14–18 hold on the
+//! simulated platforms. These are the mechanisms µSKU's search exploits, so
+//! they are tested directly against the engine, independent of the A/B
+//! statistics.
+
+use softsku::archsim::cache::CdpPartition;
+use softsku::archsim::engine::ServerConfig;
+use softsku::archsim::engine::Engine;
+use softsku::archsim::pagemap::ThpMode;
+use softsku::archsim::prefetch::PrefetcherConfig;
+use softsku::workloads::{Microservice, PlatformKind};
+
+const WINDOW: u64 = 250_000;
+
+fn mips(service: Microservice, platform: PlatformKind, cfg: &ServerConfig) -> f64 {
+    let profile = service.profile(platform).unwrap();
+    let engine = Engine::new(cfg.clone(), profile.stream, 42).unwrap();
+    engine
+        .run_window(WINDOW, profile.peak_utilization)
+        .unwrap()
+        .mips_total
+}
+
+fn production(service: Microservice, platform: PlatformKind) -> ServerConfig {
+    service.production_config(platform).unwrap()
+}
+
+#[test]
+fn fig14a_core_frequency_is_monotone_with_diminishing_returns() {
+    let prod = production(Microservice::Web, PlatformKind::Skylake18);
+    let mut values = Vec::new();
+    for f in [1.6, 1.8, 2.0, 2.2] {
+        let mut cfg = prod.clone();
+        cfg.core_freq_ghz = f;
+        values.push(mips(Microservice::Web, PlatformKind::Skylake18, &cfg));
+    }
+    assert!(values.windows(2).all(|w| w[1] > w[0]), "monotone: {values:?}");
+    let total_gain = values[3] / values[0] - 1.0;
+    assert!(
+        (0.08..0.35).contains(&total_gain),
+        "1.6→2.2 GHz gain {total_gain:.2}"
+    );
+    // Diminishing: the first 0.2 GHz buys more than the last.
+    let first = values[1] / values[0];
+    let last = values[3] / values[2];
+    assert!(first > last, "diminishing returns: {first:.3} vs {last:.3}");
+}
+
+#[test]
+fn fig14b_uncore_frequency_max_is_best_and_ads1_most_sensitive() {
+    let mut gains = Vec::new();
+    for (svc, plat) in [
+        (Microservice::Web, PlatformKind::Skylake18),
+        (Microservice::Ads1, PlatformKind::Skylake18),
+    ] {
+        let prod = production(svc, plat);
+        let mut slow = prod.clone();
+        slow.uncore_freq_ghz = 1.4;
+        let gain = mips(svc, plat, &prod) / mips(svc, plat, &slow) - 1.0;
+        assert!(gain > 0.0, "{}: uncore gain {gain:.3}", svc.name());
+        gains.push(gain);
+    }
+    assert!(
+        gains[1] > gains[0],
+        "Ads1 ({:.3}) must be more uncore-sensitive than Web ({:.3})",
+        gains[1],
+        gains[0]
+    );
+}
+
+#[test]
+fn fig15_core_scaling_is_near_linear_then_bends() {
+    let prod = production(Microservice::Web, PlatformKind::Skylake18);
+    let at = |n: u32| {
+        let mut cfg = prod.clone();
+        cfg.active_cores = n;
+        mips(Microservice::Web, PlatformKind::Skylake18, &cfg)
+    };
+    let two = at(2);
+    let eight = at(8) / two;
+    let eighteen = at(18) / two;
+    // Near-linear to 8 cores (ideal 4.0x): at least 85% of ideal.
+    assert!(eight > 3.4, "8-core scaling {eight:.2}x of 2-core");
+    // The curve bends: 18 cores deliver clearly less than ideal 9x.
+    assert!(eighteen < 8.1, "18-core scaling {eighteen:.2}x");
+    assert!(eighteen > eight, "still monotone");
+}
+
+#[test]
+fn fig16_cdp_interior_optimum_on_skylake_absent_on_broadwell() {
+    // Web (Skylake): an interior partition beats CDP-off by a few percent.
+    let prod = production(Microservice::Web, PlatformKind::Skylake18);
+    let base = mips(Microservice::Web, PlatformKind::Skylake18, &prod);
+    let mut best_gain = f64::MIN;
+    let mut best_code_ways = 0;
+    let mut edge_loses = false;
+    for p in CdpPartition::sweep(prod.llc_ways_enabled) {
+        let mut cfg = prod.clone();
+        cfg.cdp = Some(p);
+        let g = mips(Microservice::Web, PlatformKind::Skylake18, &cfg) / base - 1.0;
+        if g > best_gain {
+            best_gain = g;
+            best_code_ways = p.code_ways;
+        }
+        if p.data_ways == prod.llc_ways_enabled - 1 || p.code_ways == prod.llc_ways_enabled - 1 {
+            edge_loses |= g < 0.0;
+        }
+    }
+    assert!(
+        (0.02..0.12).contains(&best_gain),
+        "Web-Skylake CDP best gain {best_gain:.3} (paper +4.5%)"
+    );
+    assert!(
+        (4..=7).contains(&best_code_ways),
+        "optimum near {{6,5}}: code ways {best_code_ways}"
+    );
+    assert!(edge_loses, "extreme partitions must lose");
+
+    // Web (Broadwell): bandwidth-saturated; CDP buys far less.
+    let prod_b = production(Microservice::Web, PlatformKind::Broadwell16);
+    let base_b = mips(Microservice::Web, PlatformKind::Broadwell16, &prod_b);
+    let mut best_b = f64::MIN;
+    for p in CdpPartition::sweep(prod_b.llc_ways_enabled) {
+        let mut cfg = prod_b.clone();
+        cfg.cdp = Some(p);
+        best_b = best_b.max(mips(Microservice::Web, PlatformKind::Broadwell16, &cfg) / base_b - 1.0);
+    }
+    assert!(
+        best_b < best_gain * 0.75,
+        "Broadwell CDP gain {best_b:.3} must be well below Skylake's {best_gain:.3}"
+    );
+}
+
+#[test]
+fn fig17_prefetchers_help_skylake_hurt_broadwell() {
+    // Skylake: all-on (production) beats all-off.
+    let prod_s = production(Microservice::Web, PlatformKind::Skylake18);
+    let mut off_s = prod_s.clone();
+    off_s.prefetchers = PrefetcherConfig::all_off();
+    assert!(
+        mips(Microservice::Web, PlatformKind::Skylake18, &prod_s)
+            > mips(Microservice::Web, PlatformKind::Skylake18, &off_s),
+        "Skylake wants prefetchers on"
+    );
+
+    // Broadwell: all-off beats the production l2+dcu config by ~3%.
+    let prod_b = production(Microservice::Web, PlatformKind::Broadwell16);
+    assert_eq!(prod_b.prefetchers, PrefetcherConfig::l2_and_dcu());
+    let mut off_b = prod_b.clone();
+    off_b.prefetchers = PrefetcherConfig::all_off();
+    let gain = mips(Microservice::Web, PlatformKind::Broadwell16, &off_b)
+        / mips(Microservice::Web, PlatformKind::Broadwell16, &prod_b)
+        - 1.0;
+    assert!(
+        (0.005..0.10).contains(&gain),
+        "Broadwell prefetch-off gain {gain:.3} (paper ~+3%)"
+    );
+}
+
+#[test]
+fn fig18a_thp_always_helps_only_web_skylake() {
+    let cases = [
+        (Microservice::Web, PlatformKind::Skylake18, true),
+        (Microservice::Web, PlatformKind::Broadwell16, false),
+        (Microservice::Ads1, PlatformKind::Skylake18, false),
+    ];
+    for (svc, plat, should_gain) in cases {
+        let prod = production(svc, plat);
+        let mut always = prod.clone();
+        always.thp = ThpMode::AlwaysOn;
+        let gain = mips(svc, plat, &always) / mips(svc, plat, &prod) - 1.0;
+        if should_gain {
+            assert!(gain > 0.01, "{} on {plat}: THP gain {gain:.3}", svc.name());
+        } else {
+            assert!(
+                gain < 0.015,
+                "{} on {plat}: THP should be ~neutral, got {gain:.3}",
+                svc.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig18b_shp_sweet_spots_at_300_and_400() {
+    for (plat, sweet) in [
+        (PlatformKind::Skylake18, 300u32),
+        (PlatformKind::Broadwell16, 400u32),
+    ] {
+        let prod = production(Microservice::Web, plat);
+        let mut none = prod.clone();
+        none.shp_pages = 0;
+        let base = mips(Microservice::Web, plat, &none);
+        let mut best = (0u32, f64::MIN);
+        for shp in (100..=600).step_by(100) {
+            let mut cfg = prod.clone();
+            cfg.shp_pages = shp;
+            let g = mips(Microservice::Web, plat, &cfg) / base - 1.0;
+            if g > best.1 {
+                best = (shp, g);
+            }
+        }
+        assert_eq!(best.0, sweet, "{plat}: sweet spot at {} ({:+.2}%)", best.0, best.1 * 100.0);
+        assert!(best.1 > 0.0);
+        // Over-reservation declines past the sweet spot.
+        let mut over = prod.clone();
+        over.shp_pages = 600;
+        let over_gain = mips(Microservice::Web, plat, &over) / base - 1.0;
+        assert!(over_gain < best.1, "{plat}: 600 SHPs must trail the sweet spot");
+    }
+}
+
+#[test]
+fn avx_tax_gives_ads1_its_2ghz_effective_frequency() {
+    let prod = production(Microservice::Ads1, PlatformKind::Skylake18);
+    let profile = Microservice::Ads1.profile(PlatformKind::Skylake18).unwrap();
+    assert_eq!(prod.core_freq_ghz, 2.2);
+    assert!((prod.effective_core_freq_ghz(profile.stream.mix.fp) - 2.0).abs() < 1e-9);
+}

@@ -1,0 +1,132 @@
+//! Cross-crate property-based tests on the core invariants the experiments
+//! rely on (per-module property tests live in each crate; these span crates
+//! through the public API).
+
+use proptest::prelude::*;
+use softsku::archsim::cache::{CdpPartition, SetAssocCache};
+use softsku::archsim::ranklist::RankList;
+use softsku::archsim::reuse::ReuseDistanceDist;
+use softsku::telemetry::stats::{t_cdf, t_quantile, welch_test, RunningStats, Summary};
+use softsku::workloads::request::{erlang_c, mmc_wait_factor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The survival function of any valid reuse distribution is monotone
+    /// non-increasing in capacity and bounded by [cold, 1].
+    #[test]
+    fn reuse_survival_is_monotone(
+        knee in 4u64..10_000,
+        knee_miss in 0.02f64..0.9,
+        cold_frac in 0.0f64..0.5,
+    ) {
+        let cold = cold_frac * knee_miss * 0.9;
+        let footprint = knee * 16;
+        let dist = ReuseDistanceDist::single_knee(knee, knee_miss, cold, footprint).unwrap();
+        let mut prev = 1.0f64;
+        for exp in 0..18 {
+            let c = 1u64 << exp;
+            let m = dist.miss_ratio(c);
+            prop_assert!(m <= prev + 1e-12);
+            prop_assert!(m >= cold - 1e-12);
+            prop_assert!(m <= 1.0);
+            prev = m;
+        }
+    }
+
+    /// A fully-associative-equivalent cache (1 set) never misses a working
+    /// set smaller than its way count, regardless of the access pattern.
+    #[test]
+    fn small_working_sets_always_fit(accesses in proptest::collection::vec(0u64..8, 1..400)) {
+        let mut cache = SetAssocCache::new(1, 8).unwrap();
+        // First pass may miss (compulsory), second pass must fully hit.
+        for &a in &accesses {
+            cache.access(a);
+        }
+        cache.reset_stats();
+        for &a in &accesses {
+            prop_assert!(cache.access(a), "line {a} must be resident");
+        }
+    }
+
+    /// RankList behaves exactly like a Vec under arbitrary front-insert /
+    /// remove-at-rank sequences.
+    #[test]
+    fn ranklist_matches_vec_model(ops in proptest::collection::vec((any::<bool>(), 0usize..64), 1..200)) {
+        let mut list = RankList::new(9);
+        let mut model: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        for (push, rank) in ops {
+            if push || model.is_empty() {
+                list.push_front(next);
+                model.insert(0, next);
+                next += 1;
+            } else {
+                let r = rank % model.len();
+                prop_assert_eq!(list.remove_at(r), Some(model.remove(r)));
+            }
+        }
+        prop_assert_eq!(list.to_vec(), model);
+    }
+
+    /// Welford accumulation matches two-pass statistics.
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e6f64..1e6, 2..300)) {
+        let acc: RunningStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        prop_assert!((acc.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((acc.variance() - var).abs() <= 1e-5 * (1.0 + var.abs()));
+    }
+
+    /// t-quantile inverts the t-CDF across degrees of freedom.
+    #[test]
+    fn t_quantile_inverts_cdf(p in 0.01f64..0.99, df in 1.0f64..500.0) {
+        let x = t_quantile(p, df);
+        prop_assert!((t_cdf(x, df) - p).abs() < 1e-8);
+    }
+
+    /// Welch's test is antisymmetric in its arguments and never yields a
+    /// p-value outside [0, 1].
+    #[test]
+    fn welch_is_antisymmetric(
+        m1 in -100.0f64..100.0,
+        m2 in -100.0f64..100.0,
+        v1 in 0.01f64..50.0,
+        v2 in 0.01f64..50.0,
+        n1 in 3u64..500,
+        n2 in 3u64..500,
+    ) {
+        let a = Summary::from_moments(n1, m1, v1);
+        let b = Summary::from_moments(n2, m2, v2);
+        let ab = welch_test(&a, &b);
+        let ba = welch_test(&b, &a);
+        prop_assert!((ab.t_statistic + ba.t_statistic).abs() < 1e-9);
+        prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&ab.p_value));
+    }
+
+    /// Erlang-C is a probability, increasing in offered load.
+    #[test]
+    fn erlang_c_is_probability(c in 1u32..64, rho in 0.0f64..0.99) {
+        let a = rho * c as f64;
+        let p = erlang_c(c, a);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let p2 = erlang_c(c, (a + 0.1).min(c as f64 * 0.999));
+        prop_assert!(p2 + 1e-12 >= p);
+        prop_assert!(mmc_wait_factor(rho, c).is_finite());
+    }
+
+    /// Every valid CDP partition of any way count sums back to the total and
+    /// never starves a side.
+    #[test]
+    fn cdp_sweep_is_complete_and_valid(ways in 2u32..32) {
+        let sweep = CdpPartition::sweep(ways);
+        prop_assert_eq!(sweep.len(), (ways - 1) as usize);
+        for p in sweep {
+            prop_assert_eq!(p.data_ways + p.code_ways, ways);
+            prop_assert!(p.data_ways >= 1 && p.code_ways >= 1);
+            prop_assert!(CdpPartition::new(p.data_ways, p.code_ways, ways).is_ok());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Integration: the full µSKU pipeline reproduces the paper's Sec. 6
+//! evaluation shape — statistically significant soft-SKU wins over stock and
+//! hand-tuned production servers, with constraint gating and long-horizon
+//! validation (reduced sample budgets; the paper-scale run lives in the
+//! `repro fig19` harness).
+
+use softsku::knobs::Knob;
+use softsku::usku::{InputFile, Usku, UskuConfig, Verdict};
+
+fn fast(input: InputFile, validate_days: f64) -> UskuConfig {
+    let mut cfg = UskuConfig::fast_test();
+    cfg.validate_days = validate_days;
+    let _ = input;
+    cfg
+}
+
+#[test]
+fn web_skylake_soft_sku_beats_production_and_stock() {
+    let input = InputFile::parse(
+        "microservice = web\nplatform = skylake18\nknobs = cdp, thp, shp\nseed = 101\n",
+    )
+    .unwrap();
+    let cfg = fast(input.clone(), 1.0);
+    let report = Usku::with_config(input, cfg).run().unwrap();
+
+    // Fig. 19 shape: positive gains against both baselines, with the
+    // production gap smaller than the stock gap ordering not guaranteed in
+    // the paper either; we assert both are wins.
+    assert!(
+        report.soft_sku.gain_vs_production > 0.02,
+        "vs production {:+.2}%\n{}",
+        report.soft_sku.gain_vs_production * 100.0,
+        report.render()
+    );
+    assert!(
+        report.soft_sku.gain_vs_stock > 0.02,
+        "vs stock {:+.2}%",
+        report.soft_sku.gain_vs_stock * 100.0
+    );
+
+    // The composed SKU carries the paper's signature selections.
+    let knobs: Vec<Knob> = report.soft_sku.selections.iter().map(|(k, _, _)| *k).collect();
+    assert!(knobs.contains(&Knob::Cdp), "CDP should win on Web-Skylake");
+    assert!(knobs.contains(&Knob::Shp), "SHP 300 should win");
+
+    // Additivity is approximate (paper Sec. 7): the composite differs from
+    // the sum of individual gains.
+    let additive = report.soft_sku.additive_prediction();
+    assert!(additive > 0.0);
+
+    // Fleet validation confirms a stable QPS win across code pushes.
+    let v = report.validation.expect("validation enabled");
+    assert!(
+        v.relative_gain > 0.01,
+        "validated {:+.2}%",
+        v.relative_gain * 100.0
+    );
+}
+
+#[test]
+fn ads1_constraints_shape_the_search() {
+    let input = InputFile::parse("microservice = ads1\nseed = 11\n").unwrap();
+    let cfg = fast(input.clone(), 0.0);
+    let report = Usku::with_config(input, cfg).run().unwrap();
+
+    // SHP never appears: Ads1 does not call the APIs (knob gated).
+    assert!(
+        report.map.results(Knob::Shp).is_empty(),
+        "SHP must be gated for Ads1"
+    );
+    // Core-count sweep collapses to the QoS floor (no alternatives to test).
+    assert!(
+        report.map.results(Knob::CoreCount).is_empty(),
+        "core-count sweep must be trivial for Ads1"
+    );
+    // Frequency studies match expert tuning: no setting beats production.
+    assert!(
+        report.map.best_setting(Knob::CoreFrequency).is_none(),
+        "production core frequency is already optimal"
+    );
+    // Overall, Ads1 still gains a little (paper: +2.5%).
+    assert!(
+        report.soft_sku.gain_vs_production > 0.0,
+        "{:+.2}%",
+        report.soft_sku.gain_vs_production * 100.0
+    );
+}
+
+#[test]
+fn frequency_sweep_confirms_expert_tuning_for_web() {
+    // Paper Sec. 6.1, knobs 1–3: "µSKU matches expert manual tuning
+    // decisions" — every non-production frequency loses or ties.
+    let input = InputFile::parse(
+        "microservice = web\nplatform = skylake18\nknobs = core_frequency, uncore_frequency\nseed = 23\n",
+    )
+    .unwrap();
+    let cfg = fast(input.clone(), 0.0);
+    let report = Usku::with_config(input, cfg).run().unwrap();
+    assert!(report.map.best_setting(Knob::CoreFrequency).is_none());
+    assert!(report.map.best_setting(Knob::UncoreFrequency).is_none());
+    // Every decided test is a loss (lower frequencies), never a win.
+    for r in report.map.results(Knob::CoreFrequency) {
+        match r.verdict {
+            Verdict::Worse { .. } | Verdict::NoDifference => {}
+            other => panic!("unexpected verdict {other:?} for {}", r.setting),
+        }
+    }
+    // The generated "soft SKU" therefore equals production for these knobs.
+    assert_eq!(report.soft_sku.config.core_freq_ghz, 2.2);
+    assert_eq!(report.soft_sku.config.uncore_freq_ghz, 1.8);
+}
+
+#[test]
+fn hill_climbing_matches_or_beats_independent_on_small_space() {
+    let base = "microservice = web\nplatform = skylake18\nknobs = thp, shp\nseed = 77\n";
+    let ind = Usku::with_config(
+        InputFile::parse(base).unwrap(),
+        fast(InputFile::parse(base).unwrap(), 0.0),
+    )
+    .run()
+    .unwrap();
+    let hc_text = format!("{base}sweep = hill_climbing\n");
+    let mut hc_cfg = fast(InputFile::parse(&hc_text).unwrap(), 0.0);
+    // Two knobs need two greedy steps to match the independent composition.
+    hc_cfg.hill_climb_steps = 2;
+    let hc = Usku::with_config(InputFile::parse(&hc_text).unwrap(), hc_cfg)
+        .run()
+        .unwrap();
+    assert!(
+        hc.soft_sku.gain_vs_production >= ind.soft_sku.gain_vs_production - 0.02,
+        "hill climbing {:+.2}% vs independent {:+.2}%",
+        hc.soft_sku.gain_vs_production * 100.0,
+        ind.soft_sku.gain_vs_production * 100.0
+    );
+}
+
+#[test]
+fn reports_are_deterministic_given_a_seed() {
+    let text = "microservice = web\nknobs = thp\nseed = 5\n";
+    let run = || {
+        let input = InputFile::parse(text).unwrap();
+        let cfg = fast(input.clone(), 0.0);
+        Usku::with_config(input, cfg).run().unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.map.test_count(), b.map.test_count());
+    assert_eq!(a.map.sample_count(), b.map.sample_count());
+    assert!((a.soft_sku.gain_vs_production - b.soft_sku.gain_vs_production).abs() < 1e-12);
+    assert_eq!(a.render(), b.render());
+}

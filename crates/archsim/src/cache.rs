@@ -321,7 +321,10 @@ impl CdpPartition {
                 total_ways,
             });
         }
-        Ok(CdpPartition { data_ways, code_ways })
+        Ok(CdpPartition {
+            data_ways,
+            code_ways,
+        })
     }
 
     /// Every valid partition of `total_ways` in the paper's sweep order
@@ -412,13 +415,9 @@ impl SharedLlc {
                 value: code_share,
             });
         }
-        let code =
-            SetAssocCache::from_geometry(geom, ways_enabled, capacity_scale * code_share)?;
-        let data = SetAssocCache::from_geometry(
-            geom,
-            ways_enabled,
-            capacity_scale * (1.0 - code_share),
-        )?;
+        let code = SetAssocCache::from_geometry(geom, ways_enabled, capacity_scale * code_share)?;
+        let data =
+            SetAssocCache::from_geometry(geom, ways_enabled, capacity_scale * (1.0 - code_share))?;
         Ok(SharedLlc::Partitioned { data, code })
     }
 
@@ -537,8 +536,18 @@ mod tests {
             }
             misses.push(c.miss_ratio());
         }
-        assert!(misses[0] > misses[1], "2 ways {} vs 6 ways {}", misses[0], misses[1]);
-        assert!(misses[1] > misses[2], "6 ways {} vs 11 ways {}", misses[1], misses[2]);
+        assert!(
+            misses[0] > misses[1],
+            "2 ways {} vs 6 ways {}",
+            misses[0],
+            misses[1]
+        );
+        assert!(
+            misses[1] > misses[2],
+            "6 ways {} vs 11 ways {}",
+            misses[1],
+            misses[2]
+        );
     }
 
     #[test]
@@ -548,8 +557,20 @@ mod tests {
         assert!(CdpPartition::new(6, 6, 11).is_err());
         let sweep = CdpPartition::sweep(11);
         assert_eq!(sweep.len(), 10);
-        assert_eq!(sweep[0], CdpPartition { data_ways: 1, code_ways: 10 });
-        assert_eq!(sweep[9], CdpPartition { data_ways: 10, code_ways: 1 });
+        assert_eq!(
+            sweep[0],
+            CdpPartition {
+                data_ways: 1,
+                code_ways: 10
+            }
+        );
+        assert_eq!(
+            sweep[9],
+            CdpPartition {
+                data_ways: 10,
+                code_ways: 1
+            }
+        );
         assert_eq!(sweep[5].to_string(), "{6, 5}");
     }
 
@@ -599,7 +620,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits < 200, "data stream should have evicted code, hits = {hits}");
+        assert!(
+            hits < 200,
+            "data stream should have evicted code, hits = {hits}"
+        );
     }
 
     #[test]
@@ -634,11 +658,13 @@ mod tests {
         }
         // A fifth line evicts exactly one of them.
         assert!(!c.access(99));
-        let resident = (0..4u64).filter(|&l| {
-            // Probe without polluting: clone per probe.
-            let mut probe = c.clone();
-            probe.access(l)
-        }).count();
+        let resident = (0..4u64)
+            .filter(|&l| {
+                // Probe without polluting: clone per probe.
+                let mut probe = c.clone();
+                probe.access(l)
+            })
+            .count();
         assert_eq!(resident, 3, "one victim was evicted");
     }
 
@@ -649,9 +675,11 @@ mod tests {
         let mut plru = SetAssocCache::with_replacement(256, 8, Replacement::TreePlru).unwrap();
         let mut state = 7u64;
         for _ in 0..200_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             // Mixture: 75% hot set (1k lines), 25% cold sweep (32k lines).
-            let line = if state % 4 != 0 {
+            let line = if !state.is_multiple_of(4) {
                 (state >> 20) % 1_000
             } else {
                 100_000 + (state >> 20) % 32_000

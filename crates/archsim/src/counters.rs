@@ -151,7 +151,9 @@ impl Counters {
 
     /// Total memory-interface lines (demand + prefetch + writeback + DMA).
     pub fn mem_total_lines(&self) -> f64 {
-        self.mem_demand_lines + self.mem_prefetch_lines + self.mem_writeback_lines
+        self.mem_demand_lines
+            + self.mem_prefetch_lines
+            + self.mem_writeback_lines
             + self.mem_extra_lines
     }
 
@@ -251,7 +253,10 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.instructions, 20_000);
         assert_eq!(a.l1i_misses, 1_000);
-        assert!((a.ipc() - 0.5).abs() < 1e-12, "ratios preserved under merge");
+        assert!(
+            (a.ipc() - 0.5).abs() < 1e-12,
+            "ratios preserved under merge"
+        );
     }
 
     #[test]

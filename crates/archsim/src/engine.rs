@@ -581,8 +581,9 @@ impl Engine {
             // Context switch direct cost: midpoint of the bound range.
             let time_guess_s = (base + frontend + bad_spec + backend).max(1.0) / (freq * 1e9);
             let switches = cs_rate * time_guess_s;
-            let cs_us =
-                0.5 * (spec.context_switch.direct_cost_us_low + spec.context_switch.direct_cost_us_high);
+            let cs_us = 0.5
+                * (spec.context_switch.direct_cost_us_low
+                    + spec.context_switch.direct_cost_us_high);
             let cs_cycles = switches * cs_us * 1e-6 * freq * 1e9;
 
             let parts = CpiParts {
@@ -613,13 +614,7 @@ impl Engine {
                 let mut final_c = c;
                 final_c.cycles = cycles;
                 final_c.context_switches = switches;
-                let tmam = TmamBreakdown::from_cycles(
-                    ins,
-                    cycles,
-                    frontend,
-                    bad_spec,
-                    width,
-                );
+                let tmam = TmamBreakdown::from_cycles(ins, cycles, frontend, bad_spec, width);
                 report = Some(WindowReport {
                     counters: final_c,
                     ipc_thread,
@@ -726,7 +721,11 @@ mod tests {
     fn stock_config_runs_and_is_sane() {
         let e = engine_with(ServerConfig::stock(PlatformSpec::skylake18()));
         let r = e.run_window(WINDOW, 1.0).unwrap();
-        assert!(r.ipc_thread > 0.1 && r.ipc_thread < 4.0, "ipc {}", r.ipc_thread);
+        assert!(
+            r.ipc_thread > 0.1 && r.ipc_thread < 4.0,
+            "ipc {}",
+            r.ipc_thread
+        );
         assert!(r.ipc_core >= r.ipc_thread);
         assert!(r.mips_total > 0.0);
         assert!(r.mem_latency_ns >= 85.0);
@@ -789,7 +788,10 @@ mod tests {
         assert!(Engine::new(cfg, test_spec(), 0).is_err());
 
         let mut cfg = ServerConfig::stock(PlatformSpec::skylake18());
-        cfg.cdp = Some(CdpPartition { data_ways: 6, code_ways: 6 });
+        cfg.cdp = Some(CdpPartition {
+            data_ways: 6,
+            code_ways: 6,
+        });
         assert!(Engine::new(cfg, test_spec(), 0).is_err());
 
         let mut cfg = ServerConfig::stock(PlatformSpec::skylake18());
@@ -817,7 +819,10 @@ mod tests {
             on.mips_total,
             off.mips_total
         );
-        assert!(on.bandwidth_gbps > off.bandwidth_gbps, "prefetch adds traffic");
+        assert!(
+            on.bandwidth_gbps > off.bandwidth_gbps,
+            "prefetch adds traffic"
+        );
     }
 
     #[test]

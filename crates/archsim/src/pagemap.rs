@@ -192,8 +192,15 @@ mod tests {
     #[test]
     fn fragmented_platform_mutes_always_mode() {
         let p = web_pages();
-        let healthy = PagePolicy::resolve(&p, ThpMode::AlwaysOn, 0, ThpPlatformTraits::healthy(), MEM);
-        let frag = PagePolicy::resolve(&p, ThpMode::AlwaysOn, 0, ThpPlatformTraits::fragmented(), MEM);
+        let healthy =
+            PagePolicy::resolve(&p, ThpMode::AlwaysOn, 0, ThpPlatformTraits::healthy(), MEM);
+        let frag = PagePolicy::resolve(
+            &p,
+            ThpMode::AlwaysOn,
+            0,
+            ThpPlatformTraits::fragmented(),
+            MEM,
+        );
         assert!(frag.huge_data_fraction < 0.65 * healthy.huge_data_fraction);
     }
 
@@ -208,7 +215,10 @@ mod tests {
         assert!((full.huge_code_fraction - 0.75).abs() < 1e-9);
         assert!((over.huge_code_fraction - 0.75).abs() < 1e-9);
         assert_eq!(full.shp_pressure_penalty, 0.0);
-        assert!(over.shp_pressure_penalty > 0.0, "over-reservation must cost");
+        assert!(
+            over.shp_pressure_penalty > 0.0,
+            "over-reservation must cost"
+        );
         assert_eq!(over.shp_pages_used, 300);
     }
 

@@ -365,7 +365,10 @@ mod tests {
         let llc = PlatformSpec::skylake18().llc;
         assert_eq!(llc.way_bytes() * llc.ways as u64, llc.capacity_bytes);
         assert_eq!(llc.lines() * CACHE_LINE_BYTES, llc.capacity_bytes);
-        assert_eq!(llc.sets() * llc.ways as u64 * CACHE_LINE_BYTES, llc.capacity_bytes);
+        assert_eq!(
+            llc.sets() * llc.ways as u64 * CACHE_LINE_BYTES,
+            llc.capacity_bytes
+        );
     }
 
     #[test]

@@ -192,7 +192,11 @@ impl PrefetchEffect {
         }
         // Memory-latency hiding: only the stream prefetcher runs far enough
         // ahead.
-        let llc = if config.l2_stream { 0.50 * (seq + 0.5 * stride) } else { 0.0 };
+        let llc = if config.l2_stream {
+            0.50 * (seq + 0.5 * stride)
+        } else {
+            0.0
+        };
 
         // Waste: issued = covered / accuracy ⇒ wasted lines = covered *
         // (1/acc − 1). The adjacent-line prefetcher is the least accurate;

@@ -300,7 +300,9 @@ mod tests {
         // Deterministic pseudo-random operation sequence.
         let mut state = 12345u64;
         let mut next = |m: u64| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) % m.max(1)
         };
         for i in 0..2000u64 {
@@ -377,7 +379,9 @@ mod tests {
         }
         let mut state = 1u64;
         for _ in 0..50_000 {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let rank = ((state >> 33) as usize) % list.len();
             let v = list.remove_at(rank).unwrap();
             list.push_front(v);

@@ -202,7 +202,10 @@ impl ReuseDistanceDist {
     /// reuse distances shrink by the workload's spatial-locality factor.
     #[must_use]
     pub fn compacted(&self, factor: f64) -> Self {
-        assert!(factor >= 1.0, "compaction factor must be >= 1, got {factor}");
+        assert!(
+            factor >= 1.0,
+            "compaction factor must be >= 1, got {factor}"
+        );
         let mut pts: Vec<(u64, f64)> = Vec::new();
         let mut last = 1u64;
         for &(d, p) in &self.points[1..self.points.len() - 1] {
@@ -210,7 +213,9 @@ impl ReuseDistanceDist {
             pts.push((nd, p));
             last = nd;
         }
-        let new_fp = ((self.footprint as f64 / factor).round() as u64).max(last + 1).max(2);
+        let new_fp = ((self.footprint as f64 / factor).round() as u64)
+            .max(last + 1)
+            .max(2);
         ReuseDistanceDist::from_survival_points(&pts, self.cold_fraction, new_fp)
             .expect("compaction preserves validity")
     }
@@ -322,11 +327,13 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         // Non-increasing distances.
-        assert!(ReuseDistanceDist::from_survival_points(&[(100, 0.5), (100, 0.4)], 0.0, 1000)
-            .is_err());
+        assert!(
+            ReuseDistanceDist::from_survival_points(&[(100, 0.5), (100, 0.4)], 0.0, 1000).is_err()
+        );
         // Non-decreasing probability.
-        assert!(ReuseDistanceDist::from_survival_points(&[(100, 0.5), (200, 0.6)], 0.0, 1000)
-            .is_err());
+        assert!(
+            ReuseDistanceDist::from_survival_points(&[(100, 0.5), (200, 0.6)], 0.0, 1000).is_err()
+        );
         // Probability below cold fraction.
         assert!(ReuseDistanceDist::from_survival_points(&[(100, 0.05)], 0.1, 1000).is_err());
         // Control point beyond footprint.

@@ -34,7 +34,13 @@ impl InstructionMix {
     ///
     /// [`ArchSimError::InvalidFraction`] when any component is outside
     /// `[0, 1]` or the sum differs from 1 by more than 1e-6.
-    pub fn new(branch: f64, fp: f64, arith: f64, load: f64, store: f64) -> Result<Self, ArchSimError> {
+    pub fn new(
+        branch: f64,
+        fp: f64,
+        arith: f64,
+        load: f64,
+        store: f64,
+    ) -> Result<Self, ArchSimError> {
         for (name, v) in [
             ("branch", branch),
             ("fp", fp),
@@ -78,7 +84,13 @@ impl InstructionMix {
         load: f64,
         store: f64,
     ) -> Result<Self, ArchSimError> {
-        Self::new(branch / 100.0, fp / 100.0, arith / 100.0, load / 100.0, store / 100.0)
+        Self::new(
+            branch / 100.0,
+            fp / 100.0,
+            arith / 100.0,
+            load / 100.0,
+            store / 100.0,
+        )
     }
 
     /// Fraction of instructions that access memory (loads + stores).
@@ -253,12 +265,18 @@ impl StreamSpec {
             ("prefetch.ip_stride", self.prefetch.ip_stride),
             ("prefetch.accuracy", self.prefetch.accuracy),
             ("pages.madvise_fraction", self.pages.madvise_fraction),
-            ("context_switch.pollution", self.context_switch.pollution_fraction),
+            (
+                "context_switch.pollution",
+                self.context_switch.pollution_fraction,
+            ),
             ("smt_gain", self.smt_gain),
             ("llc_contention", self.llc_contention),
             ("natural_code_llc_share", self.natural_code_llc_share),
             ("frontend_exposure", self.frontend_exposure),
-            ("extra_traffic_prefetch_fraction", self.extra_traffic_prefetch_fraction),
+            (
+                "extra_traffic_prefetch_fraction",
+                self.extra_traffic_prefetch_fraction,
+            ),
         ];
         if !(self.extra_mem_lines_per_ki >= 0.0 && self.extra_mem_lines_per_ki.is_finite()) {
             return Err(ArchSimError::InvalidFraction {

@@ -387,7 +387,10 @@ mod tests {
             }
         }
         let (_, misses_huge, _) = tlb2.dtlb_stats();
-        assert!(misses_huge < 10, "huge pages must not thrash: {misses_huge}");
+        assert!(
+            misses_huge < 10,
+            "huge pages must not thrash: {misses_huge}"
+        );
     }
 
     #[test]

@@ -45,8 +45,7 @@ impl TmamBreakdown {
         let slots = cycles * width;
         let retiring = (instructions / slots).min(1.0);
         let frontend = (frontend_cycles / cycles).min(1.0 - retiring);
-        let bad_speculation =
-            (bad_spec_cycles / cycles).min((1.0 - retiring - frontend).max(0.0));
+        let bad_speculation = (bad_spec_cycles / cycles).min((1.0 - retiring - frontend).max(0.0));
         let backend = (1.0 - retiring - frontend - bad_speculation).max(0.0);
         TmamBreakdown {
             retiring,

@@ -219,8 +219,12 @@ impl TraceGenerator {
         let t2 = t1 + m.fp;
         let t3 = t2 + m.arith;
         let t4 = t3 + m.load;
-        let code_2m = spec.code_page_reuse.compacted(spec.pages.code_compaction.max(1.0));
-        let data_2m = spec.data_page_reuse.compacted(spec.pages.data_compaction.max(1.0));
+        let code_2m = spec
+            .code_page_reuse
+            .compacted(spec.pages.code_compaction.max(1.0));
+        let data_2m = spec
+            .data_page_reuse
+            .compacted(spec.pages.data_compaction.max(1.0));
         TraceGenerator {
             code_lines: StackMapper::new(spec.code_reuse.clone(), seed ^ 0x1),
             data_lines: StackMapper::new(spec.data_reuse.clone(), seed ^ 0x2),
@@ -301,12 +305,9 @@ mod tests {
     };
 
     fn spec() -> StreamSpec {
-        let line = ReuseDistanceDist::from_survival_points(
-            &[(512, 0.25), (16_384, 0.05)],
-            0.01,
-            200_000,
-        )
-        .unwrap();
+        let line =
+            ReuseDistanceDist::from_survival_points(&[(512, 0.25), (16_384, 0.05)], 0.01, 200_000)
+                .unwrap();
         let page = ReuseDistanceDist::single_knee(64, 0.08, 0.01, 10_000).unwrap();
         StreamSpec {
             name: "test".to_string(),
@@ -347,12 +348,9 @@ mod tests {
         // Direct check of the central claim: for a fully-associative LRU of
         // capacity C, the fraction of accesses whose sampled id was NOT in
         // the C most-recent distinct ids equals miss_ratio(C).
-        let dist = ReuseDistanceDist::from_survival_points(
-            &[(128, 0.3), (4096, 0.05)],
-            0.02,
-            100_000,
-        )
-        .unwrap();
+        let dist =
+            ReuseDistanceDist::from_survival_points(&[(128, 0.3), (4096, 0.05)], 0.02, 100_000)
+                .unwrap();
         let mut mapper = StackMapper::new(dist.clone(), 7);
         let mut rng = SmallRng::seed_from_u64(42);
         // Model LRU cache of capacity 128 as a recency list.
@@ -477,7 +475,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = TraceGenerator::new(&spec(), HugePageMix::default(), 1);
         let mut b = TraceGenerator::new(&spec(), HugePageMix::default(), 2);
-        let same = (0..100).filter(|_| a.next_event() == b.next_event()).count();
+        let same = (0..100)
+            .filter(|_| a.next_event() == b.next_event())
+            .count();
         assert!(same < 100);
     }
 }

@@ -1,13 +1,13 @@
 //! Property-based tests on the simulator's core data structures.
 
 use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use softsku_archsim::cache::SetAssocCache;
 use softsku_archsim::ranklist::RankList;
 use softsku_archsim::reuse::ReuseDistanceDist;
 use softsku_archsim::tlb::LruSet;
 use softsku_archsim::trace::StackMapper;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -16,7 +16,9 @@ fn bench_ranklist(c: &mut Criterion) {
         let mut list = RankList::with_sequence(7, 0..1_000_000u64);
         let mut state = 1u64;
         b.iter(|| {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             let rank = ((state >> 33) as usize) % list.len();
             let v = list.remove_at(rank).unwrap();
             list.push_front(black_box(v));

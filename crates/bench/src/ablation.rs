@@ -29,25 +29,21 @@ fn env(service: Microservice, platform: PlatformKind, seed: u64) -> AbEnvironmen
 
 /// Search-strategy ablation on the {THP, SHP} subspace of Web-Skylake.
 pub fn search_strategies() -> String {
-    let mut out = String::from(
-        "Ablation A — search strategies on Web (Skylake), knobs = {thp, shp}\n",
-    );
+    let mut out =
+        String::from("Ablation A — search strategies on Web (Skylake), knobs = {thp, shp}\n");
     let profile = Microservice::Web
         .profile(PlatformKind::Skylake18)
         .expect("supported");
     let production = profile.production_config.clone();
-    let space = softsku_knobs::KnobSpace::for_platform(
-        &production.platform,
-        profile.constraints,
-    );
+    let space = softsku_knobs::KnobSpace::for_platform(&production.platform, profile.constraints);
     let knobs = [Knob::Thp, Knob::Shp];
     let tester = AbTester::new(AbTestConfig::fast_test(), PerformanceMetric::Mips);
 
     let mut rows = Vec::new();
     {
         let mut e = env(Microservice::Web, PlatformKind::Skylake18, 301);
-        let r = independent_sweep(&tester, &mut e, &production, &space, &knobs)
-            .expect("sweep runs");
+        let r =
+            independent_sweep(&tester, &mut e, &production, &space, &knobs).expect("sweep runs");
         rows.push(("independent", r));
     }
     {
@@ -58,8 +54,7 @@ pub fn search_strategies() -> String {
     }
     {
         let mut e = env(Microservice::Web, PlatformKind::Skylake18, 303);
-        let r = hill_climb(&tester, &mut e, &production, &space, &knobs, 2)
-            .expect("sweep runs");
+        let r = hill_climb(&tester, &mut e, &production, &space, &knobs, 2).expect("sweep runs");
         rows.push(("hill_climbing", r));
     }
 
@@ -85,15 +80,23 @@ pub fn search_strategies() -> String {
 
 /// Sample-cost ablation: decision cost vs effect size and noise.
 pub fn noise_vs_samples() -> String {
-    let mut out = String::from(
-        "Ablation B — A/B samples needed per verdict vs effect size and noise\n",
-    );
+    let mut out =
+        String::from("Ablation B — A/B samples needed per verdict vs effect size and noise\n");
     let effects: [(&str, KnobSetting); 3] = [
-        ("~5% effect (CDP {6,5})", KnobSetting::Cdp(Some(
-            softsku_archsim::cache::CdpPartition::new(6, 5, 11).expect("valid"),
-        ))),
-        ("~2% effect (THP always)", KnobSetting::Thp(ThpMode::AlwaysOn)),
-        ("null effect (re-apply 2.2 GHz)", KnobSetting::CoreFrequencyGhz(2.2)),
+        (
+            "~5% effect (CDP {6,5})",
+            KnobSetting::Cdp(Some(
+                softsku_archsim::cache::CdpPartition::new(6, 5, 11).expect("valid"),
+            )),
+        ),
+        (
+            "~2% effect (THP always)",
+            KnobSetting::Thp(ThpMode::AlwaysOn),
+        ),
+        (
+            "null effect (re-apply 2.2 GHz)",
+            KnobSetting::CoreFrequencyGhz(2.2),
+        ),
     ];
     for noise in [0.002, 0.008] {
         out.push_str(&format!("  measurement noise {:.1}%:\n", noise * 100.0));
@@ -168,16 +171,12 @@ pub fn knob_interactions() -> String {
         .profile(PlatformKind::Broadwell16)
         .expect("supported");
     let production = profile.production_config.clone();
-    let space = softsku_knobs::KnobSpace::for_platform(
-        &production.platform,
-        profile.constraints,
-    );
+    let space = softsku_knobs::KnobSpace::for_platform(&production.platform, profile.constraints);
     let knobs = [Knob::Cdp, Knob::Prefetcher];
     let tester = AbTester::new(AbTestConfig::fast_test(), PerformanceMetric::Mips);
 
     let mut e = env(Microservice::Web, PlatformKind::Broadwell16, 401);
-    let ind = independent_sweep(&tester, &mut e, &production, &space, &knobs)
-        .expect("sweep runs");
+    let ind = independent_sweep(&tester, &mut e, &production, &space, &knobs).expect("sweep runs");
     let additive: f64 = ind.selected.iter().map(|(_, _, g)| g).sum();
 
     // Measure the independent composition jointly.
@@ -188,8 +187,8 @@ pub fn knob_interactions() -> String {
     let composed_gain = composed.relative_diff().unwrap_or(0.0);
 
     let mut e2 = env(Microservice::Web, PlatformKind::Broadwell16, 402);
-    let exh = exhaustive_sweep(&tester, &mut e2, &production, &space, &knobs, 80)
-        .expect("sweep runs");
+    let exh =
+        exhaustive_sweep(&tester, &mut e2, &production, &space, &knobs, 80).expect("sweep runs");
     let exh_gain = exh.selected.first().map(|(_, _, g)| *g).unwrap_or(0.0);
 
     out.push_str(&format!(

@@ -51,8 +51,11 @@ fn main() {
         let ki = c.instructions as f64 / 1000.0;
         println!(
             "          cpi/KI: base {:.0} fe {:.0} bs {:.0} be {:.0} cs {:.0}",
-            r.cpi.base / ki, r.cpi.frontend / ki, r.cpi.bad_speculation / ki,
-            r.cpi.backend_memory / ki, r.cpi.context_switch / ki
+            r.cpi.base / ki,
+            r.cpi.frontend / ki,
+            r.cpi.bad_speculation / ki,
+            r.cpi.backend_memory / ki,
+            r.cpi.context_switch / ki
         );
     }
 }

@@ -13,7 +13,9 @@ const WINDOW: u64 = 400_000;
 fn mips(svc: Microservice, plat: PlatformKind, cfg: &ServerConfig) -> f64 {
     let prof = svc.profile(plat).unwrap();
     let e = Engine::new(cfg.clone(), prof.stream.clone(), 42).unwrap();
-    e.run_window(WINDOW, prof.peak_utilization).unwrap().mips_total
+    e.run_window(WINDOW, prof.peak_utilization)
+        .unwrap()
+        .mips_total
 }
 
 fn main() {

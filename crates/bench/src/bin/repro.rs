@@ -23,7 +23,10 @@ fn main() {
         let mut out = Vec::new();
         for id in &ids {
             if !EXPERIMENTS.contains(&id.as_str()) {
-                eprintln!("unknown experiment {id:?}; valid: {}", EXPERIMENTS.join(" "));
+                eprintln!(
+                    "unknown experiment {id:?}; valid: {}",
+                    EXPERIMENTS.join(" ")
+                );
                 std::process::exit(2);
             }
             out.push(id.as_str());
@@ -35,7 +38,10 @@ fn main() {
         let output = run_experiment(id, full);
         println!("==================== {id} ====================");
         println!("{output}");
-        println!("  [{id} regenerated in {:.1}s]", start.elapsed().as_secs_f64());
+        println!(
+            "  [{id} regenerated in {:.1}s]",
+            start.elapsed().as_secs_f64()
+        );
         println!();
     }
 }

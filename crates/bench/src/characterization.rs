@@ -34,7 +34,11 @@ pub fn table1() -> String {
     out.push_str(&row("cores/socket", &|s| s.cores_per_socket.to_string()));
     out.push_str(&row("SMT", &|s| s.smt.to_string()));
     out.push_str(&row("L1-I / L1-D (KiB)", &|s| {
-        format!("{}/{}", s.l1i.capacity_bytes >> 10, s.l1d.capacity_bytes >> 10)
+        format!(
+            "{}/{}",
+            s.l1i.capacity_bytes >> 10,
+            s.l1d.capacity_bytes >> 10
+        )
     }));
     out.push_str(&row("private L2 (KiB)", &|s| {
         (s.l2.capacity_bytes >> 10).to_string()
@@ -101,7 +105,12 @@ pub fn table2() -> String {
     let mut out = String::from("Table 2 — request throughput, latency, path length\n");
     out.push_str(&format!(
         "{:<8} {:>12} {:>14} {:>14} {:>16} {:>18}\n",
-        "service", "QPS (paper)", "QPS (modeled)", "latency (paper)", "insn/query(paper)", "on-server insn/q"
+        "service",
+        "QPS (paper)",
+        "QPS (modeled)",
+        "latency (paper)",
+        "insn/query(paper)",
+        "on-server insn/q"
     ));
     for (svc, platform) in service_platforms() {
         let t = svc.targets();
@@ -148,7 +157,10 @@ pub fn fig2() -> String {
             )),
         }
     }
-    let web = Microservice::Web.targets().request_pct.expect("Web has a breakdown");
+    let web = Microservice::Web
+        .targets()
+        .request_pct
+        .expect("Web has a breakdown");
     out.push_str("Fig. 2b — Web sub-split (%):\n");
     out.push_str(&format!(
         "  running {:.0} / queue {:.0} / scheduler {:.0} / IO {:.0}\n",
@@ -182,8 +194,8 @@ pub fn fig4() -> String {
     for (svc, _) in service_platforms() {
         let t = svc.targets();
         let r = peak_report(svc);
-        let rate = r.counters.context_switches
-            / (r.counters.cycles / (r.effective_core_freq_ghz * 1e9));
+        let rate =
+            r.counters.context_switches / (r.counters.cycles / (r.effective_core_freq_ghz * 1e9));
         let lo = rate * CS_COST_US.0 * 1e-6 * 100.0;
         let hi = rate * CS_COST_US.1 * 1e-6 * 100.0;
         out.push_str(&format!(
@@ -297,9 +309,8 @@ pub fn fig7() -> String {
 
 /// Fig. 8: L1/L2 code+data MPKI.
 pub fn fig8() -> String {
-    let mut out = String::from(
-        "Fig. 8 — L1 & L2 MPKI (code, data): measured | paper\n  microservices:\n",
-    );
+    let mut out =
+        String::from("Fig. 8 — L1 & L2 MPKI (code, data): measured | paper\n  microservices:\n");
     for (svc, _) in service_platforms() {
         let r = peak_report(svc);
         let t = svc.targets();

@@ -12,7 +12,11 @@ use usku::{AbTestConfig, InputFile, PerformanceMetric, SweepConfig, Usku, UskuCo
 pub fn eval_targets() -> [(Microservice, PlatformKind, &'static str); 3] {
     [
         (Microservice::Web, PlatformKind::Skylake18, "Web (Skylake)"),
-        (Microservice::Web, PlatformKind::Broadwell16, "Web (Broadwell)"),
+        (
+            Microservice::Web,
+            PlatformKind::Broadwell16,
+            "Web (Broadwell)",
+        ),
         (Microservice::Ads1, PlatformKind::Skylake18, "Ads1"),
     ]
 }
@@ -90,11 +94,16 @@ pub fn fig14() -> String {
 
 /// Fig. 15: core-count scaling (Ads1 excluded: QoS).
 pub fn fig15() -> String {
-    let mut out =
-        String::from("Fig. 15 — throughput vs physical cores, normalized to 2 cores (ideal = n/2)\n");
+    let mut out = String::from(
+        "Fig. 15 — throughput vs physical cores, normalized to 2 cores (ideal = n/2)\n",
+    );
     for (svc, plat, label) in [
         (Microservice::Web, PlatformKind::Skylake18, "Web (Skylake)"),
-        (Microservice::Web, PlatformKind::Broadwell16, "Web (Broadwell)"),
+        (
+            Microservice::Web,
+            PlatformKind::Broadwell16,
+            "Web (Broadwell)",
+        ),
     ] {
         let prod = svc.production_config(plat).expect("supported");
         let mut two = prod.clone();
@@ -131,7 +140,10 @@ pub fn fig16() -> String {
         for p in CdpPartition::sweep(prod.llc_ways_enabled) {
             let mut cfg = prod.clone();
             cfg.cdp = Some(p);
-            out.push_str(&format!(" {p}:{}", pct(mips_for(svc, plat, &cfg) / base - 1.0)));
+            out.push_str(&format!(
+                " {p}:{}",
+                pct(mips_for(svc, plat, &cfg) / base - 1.0)
+            ));
         }
         out.push('\n');
     }
@@ -187,7 +199,11 @@ pub fn fig18() -> String {
     out.push_str("Fig. 18b — perf gain over 0 SHPs (Web only; Ads1 never calls the APIs)\n");
     for (svc, plat, label) in [
         (Microservice::Web, PlatformKind::Skylake18, "Web (Skylake)"),
-        (Microservice::Web, PlatformKind::Broadwell16, "Web (Broadwell)"),
+        (
+            Microservice::Web,
+            PlatformKind::Broadwell16,
+            "Web (Broadwell)",
+        ),
     ] {
         let prod = svc.production_config(plat).expect("supported");
         let mut none = prod.clone();

@@ -17,9 +17,29 @@ pub mod knobsweeps;
 
 /// Every experiment id in paper order.
 pub const EXPERIMENTS: [&str; 23] = [
-    "table1", "fig1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "table3", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-    "fig19", "ablations",
+    "table1",
+    "fig1",
+    "table2",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "table3",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "ablations",
 ];
 
 /// Runs one experiment by id and returns its printable output.

@@ -103,8 +103,11 @@ impl ColocatedPair {
         let cfg_a = self.partition_config(&self.profile_a, self.cores_a);
         let cfg_b = self.partition_config(&self.profile_b, self.cores_b);
         let engine_a = Engine::new(cfg_a.clone(), self.profile_a.stream.clone(), self.seed)?;
-        let engine_b =
-            Engine::new(cfg_b.clone(), self.profile_b.stream.clone(), self.seed ^ 0xC0)?;
+        let engine_b = Engine::new(
+            cfg_b.clone(),
+            self.profile_b.stream.clone(),
+            self.seed ^ 0xC0,
+        )?;
 
         // Solo baselines: same core slice, full LLC, no background traffic.
         let solo_a = engine_a.run_window(self.window_insns, self.profile_a.peak_utilization)?;
@@ -228,8 +231,16 @@ mod tests {
         )
         .unwrap();
         let out = pair.evaluate().unwrap();
-        assert!(out.retention_a < 1.0, "Web must feel Feed1: {}", out.retention_a);
-        assert!(out.retention_b < 1.0, "Feed1 must feel Web: {}", out.retention_b);
+        assert!(
+            out.retention_a < 1.0,
+            "Web must feel Feed1: {}",
+            out.retention_a
+        );
+        assert!(
+            out.retention_b < 1.0,
+            "Feed1 must feel Web: {}",
+            out.retention_b
+        );
         assert!(out.retention_a > 0.4 && out.retention_b > 0.4, "{out:?}");
     }
 

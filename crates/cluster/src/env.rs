@@ -9,11 +9,13 @@
 //! arms — the statistical reality µSKU's confidence machinery exists for.
 
 use crate::error::ClusterError;
+use crate::hazards::{HazardConfig, HazardSchedule};
 use crate::server::SimServer;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use softsku_archsim::engine::ServerConfig;
 use softsku_telemetry::emon::{EventSample, EventSet, MultiplexedSampler, SamplerConfig};
+use softsku_telemetry::{Ods, SeriesKey};
 use softsku_workloads::loadgen::{CodeEvolution, LoadGenerator};
 use softsku_workloads::WorkloadProfile;
 
@@ -59,6 +61,8 @@ pub struct EnvConfig {
     pub window_insns: u64,
     /// Seconds of downtime incurred by a reboot-requiring reconfiguration.
     pub reboot_cost_s: f64,
+    /// Production-hazard injection knobs (all zero → hazard-free).
+    pub hazards: HazardConfig,
 }
 
 impl Default for EnvConfig {
@@ -72,6 +76,7 @@ impl Default for EnvConfig {
             pushes_per_hour: 0.2,
             window_insns: SimServer::DEFAULT_WINDOW,
             reboot_cost_s: 300.0,
+            hazards: HazardConfig::none(),
         }
     }
 }
@@ -88,6 +93,7 @@ impl EnvConfig {
             pushes_per_hour: 0.0,
             window_insns: 60_000,
             reboot_cost_s: 60.0,
+            hazards: HazardConfig::none(),
         }
     }
 }
@@ -107,6 +113,13 @@ pub struct AbEnvironment {
     /// counters; the architectural events are time-multiplexed.
     sampler_a: MultiplexedSampler,
     sampler_b: MultiplexedSampler,
+    /// Injected-hazard timeline (inert when the config disables hazards).
+    hazards: HazardSchedule,
+    /// ODS series of injected hazards and consumer-reported recoveries.
+    ods: Ods,
+    /// Common load of the most recent sample, spikes included (for
+    /// guardrail QoS checks between samples).
+    last_load: f64,
 }
 
 /// The EMON event set µSKU programs: fixed counters for the throughput
@@ -145,15 +158,16 @@ impl AbEnvironment {
         // servers", and a per-arm simulation-sampling bias would masquerade
         // as a knob effect. Arm differences come from the (seeded) load
         // imbalance and measurement noise only.
-        let arm_a = SimServer::with_window(profile.clone(), prod.clone(), seed, config.window_insns)?;
+        let arm_a =
+            SimServer::with_window(profile.clone(), prod.clone(), seed, config.window_insns)?;
         let arm_b = SimServer::with_window(profile, prod, seed, config.window_insns)?;
         let sampler_cfg = SamplerConfig {
             programmable_slots: 4,
             base_noise_rel: config.measurement_noise,
             seed: seed ^ 0xE301,
         };
-        let sampler_a = MultiplexedSampler::new(emon_events(), sampler_cfg)
-            .expect("static event set is valid");
+        let sampler_a =
+            MultiplexedSampler::new(emon_events(), sampler_cfg).expect("static event set is valid");
         let sampler_b = MultiplexedSampler::new(
             emon_events(),
             SamplerConfig {
@@ -179,6 +193,9 @@ impl AbEnvironment {
             code_pushes_seen: 0,
             sampler_a,
             sampler_b,
+            hazards: HazardSchedule::new(config.hazards, seed ^ 0x4A2D),
+            ods: Ods::new(),
+            last_load: 1.0,
         })
     }
 
@@ -202,6 +219,8 @@ impl AbEnvironment {
     ///
     /// # Errors
     ///
+    /// [`ClusterError::KnobApplyFailed`] when the (injected) fleet tooling
+    /// flakes — transient, retry after a backoff. Otherwise
     /// [`ClusterError::RebootNotTolerated`] or engine validation errors.
     pub fn reconfigure(
         &mut self,
@@ -209,6 +228,13 @@ impl AbEnvironment {
         config: ServerConfig,
         needs_reboot: bool,
     ) -> Result<(), ClusterError> {
+        if self.hazards.knob_failure() {
+            self.record_event("hazards", "injected.knob_failure");
+            return Err(ClusterError::KnobApplyFailed {
+                arm,
+                time_s: self.time_s,
+            });
+        }
         let server = match arm {
             Arm::A => &mut self.arm_a,
             Arm::B => &mut self.arm_b,
@@ -240,7 +266,12 @@ impl AbEnvironment {
     ///
     /// # Errors
     ///
-    /// Engine errors on first evaluation of a new configuration.
+    /// * [`ClusterError::ArmDown`] when an injected crash has an arm out —
+    ///   time still advances; wait out the outage (see [`Self::wait`]) and
+    ///   re-warm.
+    /// * [`ClusterError::TelemetryDropout`] when the pipeline lost this
+    ///   sample — the next call is unaffected.
+    /// * Engine errors on first evaluation of a new configuration.
     pub fn sample_pair(&mut self) -> Result<PairSample, ClusterError> {
         self.time_s += self.config.sample_spacing_s;
         // Code pushes land on both arms simultaneously (fleet-wide deploy).
@@ -249,21 +280,57 @@ impl AbEnvironment {
             self.arm_b.apply_code_push(push);
             self.code_pushes_seen += 1;
         }
-        let load = self.load.load_at(self.time_s);
+        let tick = self.hazards.tick(self.time_s);
+        for _ in tick.crashes.iter().flatten() {
+            self.record_event("hazards", "injected.arm_down");
+        }
+        if tick.spike_started.is_some() {
+            self.record_event("hazards", "injected.spike");
+        }
+        for (idx, down) in tick.down_until.iter().enumerate() {
+            if let Some(until_s) = down {
+                let arm = if idx == 0 { Arm::A } else { Arm::B };
+                return Err(ClusterError::ArmDown {
+                    arm,
+                    until_s: *until_s,
+                });
+            }
+        }
+        if tick.dropped {
+            self.record_event("hazards", "injected.dropout");
+            return Err(ClusterError::TelemetryDropout {
+                time_s: self.time_s,
+            });
+        }
+        let load = (self.load.load_at(self.time_s) * tick.load_multiplier).clamp(0.05, 1.2);
+        self.last_load = load;
         let la = (load * (1.0 + self.config.arm_imbalance * self.gaussian())).clamp(0.05, 1.2);
         let lb = (load * (1.0 + self.config.arm_imbalance * self.gaussian())).clamp(0.05, 1.2);
         // The MIPS channel reads the fixed "instructions" counter through
         // the EMON-like sampler (measurement noise lives there).
         let true_a = self.arm_a.mips(la)?;
         let true_b = self.arm_b.mips(lb)?;
-        let ma = fixed_counter(&mut self.sampler_a, "instructions", true_a);
-        let mb = fixed_counter(&mut self.sampler_b, "instructions", true_b);
+        let mut ma = fixed_counter(&mut self.sampler_a, "instructions", true_a);
+        let mut mb = fixed_counter(&mut self.sampler_b, "instructions", true_b);
+        if let Some((arm, factor)) = tick.corrupt {
+            self.record_event("hazards", "injected.outlier");
+            match arm {
+                Arm::A => ma *= factor,
+                Arm::B => mb *= factor,
+            }
+        }
         Ok(PairSample {
             a_mips: ma,
             b_mips: mb,
             load,
             time_s: self.time_s,
         })
+    }
+
+    /// Advances the clock without sampling — how consumers wait out an
+    /// injected outage or back off between retries.
+    pub fn wait(&mut self, seconds: f64) {
+        self.time_s += seconds.max(0.0);
     }
 
     /// One full EMON rotation over an arm's architectural counters at the
@@ -286,9 +353,8 @@ impl AbEnvironment {
             Arm::A => &mut self.sampler_a,
             Arm::B => &mut self.sampler_b,
         };
-        Ok(sampler.sample_rotation(|name| {
-            events.get(name).copied().unwrap_or(0.0) / window_s.max(1e-12)
-        }))
+        Ok(sampler
+            .sample_rotation(|name| events.get(name).copied().unwrap_or(0.0) / window_s.max(1e-12)))
     }
 
     /// QPS of an arm at the current mean load (the ODS-style fleet metric
@@ -309,6 +375,43 @@ impl AbEnvironment {
     /// Engine errors on first evaluation of a new configuration.
     pub fn qos_ok(&mut self, arm: Arm) -> Result<bool, ClusterError> {
         self.arm_mut(arm).qos_ok(1.0)
+    }
+
+    /// Whether an arm satisfies QoS at the load of the most recent sample
+    /// (spikes included) — the guardrail check self-healing consumers run
+    /// while a test is in flight.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors on first evaluation of a new configuration.
+    pub fn qos_ok_now(&mut self, arm: Arm) -> Result<bool, ClusterError> {
+        let load = self.last_load;
+        self.arm_mut(arm).qos_ok(load)
+    }
+
+    /// The injected-hazard/recovery telemetry recorded so far.
+    pub fn telemetry(&self) -> &Ods {
+        &self.ods
+    }
+
+    /// Appends one counter event (value 1.0 at the current clock) to the
+    /// environment's ODS. Consumers use it to record recoveries, e.g.
+    /// `record_event("recovery", "arm_down")`.
+    pub fn record_event(&mut self, entity: &str, metric: &str) {
+        let key = SeriesKey::new(entity, metric);
+        // The clock is monotone, so the append cannot fail.
+        self.ods
+            .append(&key, self.time_s, 1.0)
+            .expect("environment clock is monotone");
+    }
+
+    /// Event counts per recorded series (`"hazards/injected.spike"` → n),
+    /// sorted by series name.
+    pub fn hazard_counts(&self) -> Vec<(String, u64)> {
+        self.ods
+            .keys()
+            .map(|k| (k.to_string(), self.ods.len(k) as u64))
+            .collect()
     }
 
     fn gaussian(&mut self) -> f64 {
@@ -409,7 +512,9 @@ mod tests {
     fn counter_rotation_reports_multiplexed_events() {
         let mut e = env();
         let samples = e.counter_rotation(Arm::A).unwrap();
-        assert!(samples.iter().any(|s| s.event == "instructions" && s.dwell_fraction == 1.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.event == "instructions" && s.dwell_fraction == 1.0));
         let mux: Vec<_> = samples.iter().filter(|s| s.dwell_fraction < 1.0).collect();
         assert!(mux.len() >= 8, "architectural events are multiplexed");
         for s in &samples {
@@ -425,5 +530,172 @@ mod tests {
         for _ in 0..20 {
             assert_eq!(e1.sample_pair().unwrap(), e2.sample_pair().unwrap());
         }
+    }
+
+    fn hazardous_env(hazards: HazardConfig, seed: u64) -> AbEnvironment {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let mut cfg = EnvConfig::fast_test();
+        cfg.hazards = hazards;
+        AbEnvironment::new(profile, cfg, seed).unwrap()
+    }
+
+    #[test]
+    fn crashes_surface_as_arm_down_then_clear() {
+        let mut e = hazardous_env(
+            HazardConfig {
+                crash_rate_per_hour: 6.0,
+                crash_outage_s: 120.0,
+                ..HazardConfig::none()
+            },
+            7,
+        );
+        let mut saw_outage = false;
+        for _ in 0..2_000 {
+            match e.sample_pair() {
+                Ok(_) => {}
+                Err(ClusterError::ArmDown { until_s, .. }) => {
+                    saw_outage = true;
+                    assert!(until_s > e.time_s());
+                    // Waiting past the outage restores sampling.
+                    let gap = until_s - e.time_s();
+                    e.wait(gap);
+                    e.sample_pair().expect("arm is back after the outage");
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+            if saw_outage {
+                break;
+            }
+        }
+        assert!(saw_outage, "crash rate 6/h must fire within 2000 samples");
+        let counts = e.hazard_counts();
+        assert!(counts
+            .iter()
+            .any(|(k, n)| k == "hazards/injected.arm_down" && *n > 0));
+    }
+
+    #[test]
+    fn dropouts_lose_the_sample_but_not_the_run() {
+        let mut e = hazardous_env(
+            HazardConfig {
+                dropout_prob: 0.2,
+                ..HazardConfig::none()
+            },
+            9,
+        );
+        let mut ok = 0;
+        let mut dropped = 0;
+        for _ in 0..300 {
+            match e.sample_pair() {
+                Ok(_) => ok += 1,
+                Err(ClusterError::TelemetryDropout { .. }) => dropped += 1,
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(ok > 150 && dropped > 20, "ok {ok} dropped {dropped}");
+    }
+
+    #[test]
+    fn outliers_corrupt_one_arm_visibly() {
+        let mut e = hazardous_env(
+            HazardConfig {
+                outlier_prob: 0.1,
+                outlier_magnitude: 2.0,
+                ..HazardConfig::none()
+            },
+            11,
+        );
+        let samples: Vec<PairSample> = (0..300).filter_map(|_| e.sample_pair().ok()).collect();
+        let ratio_spread = |f: fn(&PairSample) -> f64| {
+            let xs: Vec<f64> = samples.iter().map(f).collect();
+            let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter()
+                .map(|x| (x / mean - 1.0).abs())
+                .fold(0.0, f64::max)
+        };
+        // A 3×/0.05× corruption dwarfs the percent-level noise.
+        let max_dev = ratio_spread(|s| s.a_mips).max(ratio_spread(|s| s.b_mips));
+        assert!(max_dev > 0.5, "corruption must be visible: {max_dev}");
+        assert!(e
+            .hazard_counts()
+            .iter()
+            .any(|(k, n)| k == "hazards/injected.outlier" && *n > 10));
+    }
+
+    #[test]
+    fn spikes_raise_the_common_load() {
+        let mut e = hazardous_env(
+            HazardConfig {
+                spike_rate_per_hour: 20.0,
+                spike_duration_s: 600.0,
+                spike_magnitude: 0.4,
+                ..HazardConfig::none()
+            },
+            13,
+        );
+        let loads: Vec<f64> = (0..400)
+            .filter_map(|_| e.sample_pair().ok().map(|s| s.load))
+            .collect();
+        let max = loads.iter().fold(0.0f64, |a, &b| a.max(b));
+        let min = loads.iter().fold(2.0f64, |a, &b| a.min(b));
+        assert!(max / min > 1.2, "spikes must move load: {min}..{max}");
+    }
+
+    #[test]
+    fn knob_failures_are_transient_and_recorded() {
+        let mut e = hazardous_env(
+            HazardConfig {
+                knob_failure_prob: 0.5,
+                ..HazardConfig::none()
+            },
+            17,
+        );
+        let cfg = e.arm_config(Arm::B).clone();
+        let mut failures = 0;
+        let mut succeeded = false;
+        for _ in 0..50 {
+            match e.reconfigure(Arm::B, cfg.clone(), false) {
+                Ok(()) => {
+                    succeeded = true;
+                    break;
+                }
+                Err(ClusterError::KnobApplyFailed { arm, .. }) => {
+                    assert_eq!(arm, Arm::B);
+                    failures += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert!(succeeded, "knob failures must be transient");
+        if failures > 0 {
+            assert!(e
+                .hazard_counts()
+                .iter()
+                .any(|(k, _)| k == "hazards/injected.knob_failure"));
+        }
+    }
+
+    #[test]
+    fn hazardous_runs_are_deterministic_given_seed() {
+        let hz = HazardConfig::moderate();
+        let mut e1 = hazardous_env(hz, 19);
+        let mut e2 = hazardous_env(hz, 19);
+        for _ in 0..200 {
+            assert_eq!(e1.sample_pair(), e2.sample_pair());
+        }
+        assert_eq!(e1.hazard_counts(), e2.hazard_counts());
+    }
+
+    #[test]
+    fn recovery_events_are_recorded() {
+        let mut e = env();
+        e.sample_pair().unwrap();
+        e.record_event("recovery", "arm_down");
+        e.record_event("recovery", "arm_down");
+        let counts = e.hazard_counts();
+        assert!(counts
+            .iter()
+            .any(|(k, n)| k == "recovery/arm_down" && *n == 2));
+        assert_eq!(e.telemetry().series_count(), 1);
     }
 }

@@ -1,5 +1,6 @@
 //! Error type for the cluster substrate.
 
+use crate::env::Arm;
 use softsku_archsim::ArchSimError;
 use softsku_workloads::WorkloadError;
 use std::error::Error;
@@ -27,6 +28,28 @@ pub enum ClusterError {
         /// The SLO ceiling in seconds.
         limit_s: f64,
     },
+    /// An injected crash took the arm down; it returns (re-warmed) at
+    /// `until_s`. Consumers should wait out the outage and re-warm.
+    ArmDown {
+        /// The crashed arm.
+        arm: Arm,
+        /// Simulated time when the arm comes back.
+        until_s: f64,
+    },
+    /// The telemetry pipeline dropped this paired sample; the next sample
+    /// is unaffected.
+    TelemetryDropout {
+        /// Simulated time of the lost sample.
+        time_s: f64,
+    },
+    /// Fleet tooling failed to apply a knob change; the failure is
+    /// transient and retrying is expected to succeed.
+    KnobApplyFailed {
+        /// The arm whose reconfiguration failed.
+        arm: Arm,
+        /// Simulated time of the failed attempt.
+        time_s: f64,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -38,7 +61,25 @@ impl fmt::Display for ClusterError {
                 write!(f, "{service} cannot tolerate a live-traffic reboot")
             }
             ClusterError::QosViolation { latency_s, limit_s } => {
-                write!(f, "qos violation: latency {latency_s:.6}s exceeds SLO {limit_s:.6}s")
+                write!(
+                    f,
+                    "qos violation: latency {latency_s:.6}s exceeds SLO {limit_s:.6}s"
+                )
+            }
+            ClusterError::ArmDown { arm, until_s } => {
+                write!(
+                    f,
+                    "arm {arm:?} is down until t={until_s:.0}s (injected crash)"
+                )
+            }
+            ClusterError::TelemetryDropout { time_s } => {
+                write!(f, "telemetry dropout at t={time_s:.0}s (sample lost)")
+            }
+            ClusterError::KnobApplyFailed { arm, time_s } => {
+                write!(
+                    f,
+                    "transient knob-apply failure on arm {arm:?} at t={time_s:.0}s"
+                )
             }
         }
     }
@@ -83,5 +124,22 @@ mod tests {
             service: "Cache1".into(),
         };
         assert!(r.to_string().contains("Cache1"));
+    }
+
+    #[test]
+    fn hazard_variants_display() {
+        let d = ClusterError::ArmDown {
+            arm: Arm::B,
+            until_s: 1200.0,
+        };
+        assert!(d.to_string().contains("down until"));
+        assert!(Error::source(&d).is_none());
+        let t = ClusterError::TelemetryDropout { time_s: 30.0 };
+        assert!(t.to_string().contains("dropout"));
+        let k = ClusterError::KnobApplyFailed {
+            arm: Arm::A,
+            time_s: 60.0,
+        };
+        assert!(k.to_string().contains("knob-apply"));
     }
 }

@@ -169,8 +169,7 @@ mod tests {
     fn identical_groups_tie() {
         let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
         let cfg = profile.production_config.clone();
-        let mut fleet =
-            ValidationFleet::new(profile, cfg.clone(), cfg, 50_000, 5400.0, 9).unwrap();
+        let mut fleet = ValidationFleet::new(profile, cfg.clone(), cfg, 50_000, 5400.0, 9).unwrap();
         let out = fleet.run(86_400.0).unwrap();
         assert!(
             out.relative_gain.abs() < 0.002,
@@ -183,8 +182,7 @@ mod tests {
     fn code_pushes_are_counted() {
         let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
         let cfg = profile.production_config.clone();
-        let mut fleet =
-            ValidationFleet::new(profile, cfg.clone(), cfg, 50_000, 5400.0, 2).unwrap();
+        let mut fleet = ValidationFleet::new(profile, cfg.clone(), cfg, 50_000, 5400.0, 2).unwrap();
         let out = fleet.run(2.0 * 86_400.0).unwrap();
         assert!(out.code_pushes > 3, "pushes {}", out.code_pushes);
     }

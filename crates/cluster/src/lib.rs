@@ -9,6 +9,9 @@
 //!   and fleet-wide code pushes.
 //! * [`fleet::ValidationFleet`] — the long-horizon ODS-backed QPS comparison
 //!   the soft-SKU generator uses to confirm a deployed configuration's win.
+//! * [`hazards::HazardSchedule`] — seeded production-hazard injection (arm
+//!   crashes, telemetry dropouts/outliers, load spikes, flaky knob tooling)
+//!   that the self-healing A/B consumer must survive.
 //! * [`colocation`] — the paper's Sec. 7 future-work extension: two services
 //!   sharing a socket (coupled LLC + memory queue) and a µSKU-aware pairing
 //!   scheduler.
@@ -36,10 +39,12 @@ pub mod colocation;
 pub mod env;
 pub mod error;
 pub mod fleet;
+pub mod hazards;
 pub mod server;
 
 pub use colocation::{best_pairing, ColocatedPair, ColocationOutcome, Pairing};
 pub use env::{AbEnvironment, Arm, EnvConfig, PairSample};
 pub use error::ClusterError;
 pub use fleet::{ValidationFleet, ValidationOutcome};
+pub use hazards::{HazardConfig, HazardEvent, HazardSchedule};
 pub use server::SimServer;

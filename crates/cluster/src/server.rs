@@ -87,7 +87,9 @@ impl SimServer {
         // Calibrate the on-server path length against the production
         // configuration at peak load (see DESIGN.md on Table 2 consistency).
         let prod = server.profile.production_config.clone();
-        let prod_mips = server.evaluate(&prod, server.profile.peak_utilization)?.mips_total;
+        let prod_mips = server
+            .evaluate(&prod, server.profile.peak_utilization)?
+            .mips_total;
         server.production_mips = prod_mips;
         server.insn_per_query = prod_mips * 1e6 / server.profile.request.peak_qps;
         Ok(server)
@@ -188,11 +190,7 @@ impl SimServer {
         let mips = self.mips(load)?;
         let speed = (mips / self.production_mips).max(1e-3);
         let base = self.profile.request.avg_latency_s;
-        let running_frac = self
-            .profile
-            .request
-            .breakdown
-            .map_or(1.0, |b| b.running);
+        let running_frac = self.profile.request.breakdown.map_or(1.0, |b| b.running);
         let service_s = base * running_frac / speed;
         let servers = (self.config.active_cores * self.config.platform.smt).max(1);
         let rho = (load * self.profile.peak_utilization).clamp(0.05, 0.98);
@@ -279,21 +277,19 @@ impl SimServer {
                 let engine = Engine::new(config.clone(), stream, seed)?;
                 Ok(engine.run_window(window, load)?)
             };
-            let results: Vec<Result<WindowReport, ClusterError>> =
-                crossbeam::thread::scope(|scope| {
-                    let handles: Vec<_> = LOAD_GRID
-                        .iter()
-                        .map(|&g| {
-                            let eval = &eval;
-                            scope.spawn(move |_| eval(g * profile.peak_utilization))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("evaluation thread panicked"))
-                        .collect()
-                })
-                .expect("crossbeam scope");
+            let results: Vec<Result<WindowReport, ClusterError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = LOAD_GRID
+                    .iter()
+                    .map(|&g| {
+                        let eval = &eval;
+                        scope.spawn(move || eval(g * profile.peak_utilization))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("evaluation thread panicked"))
+                    .collect()
+            });
             let mut mips = [0.0; 3];
             let mut peak_report = None;
             for (i, result) in results.into_iter().enumerate() {
@@ -356,7 +352,9 @@ fn config_key(c: &ServerConfig, push_scale: f64) -> u64 {
         Some(p) => mix(1 | ((p.data_ways as u64) << 8) | ((p.code_ways as u64) << 16)),
     }
     let pf = &c.prefetchers;
-    mix(pf.l2_stream as u64 | (pf.l2_adjacent as u64) << 1 | (pf.dcu as u64) << 2
+    mix(pf.l2_stream as u64
+        | (pf.l2_adjacent as u64) << 1
+        | (pf.dcu as u64) << 2
         | (pf.dcu_ip as u64) << 3);
     mix(match c.thp {
         softsku_archsim::ThpMode::Madvise => 11,
@@ -410,7 +408,10 @@ mod tests {
         let l_over = s.latency(1.15).unwrap();
         assert!(l_low < l_peak, "queueing must grow with load");
         assert!(l_peak < l_over);
-        assert!(s.qos_ok(1.0).unwrap(), "peak operating point is QoS-feasible");
+        assert!(
+            s.qos_ok(1.0).unwrap(),
+            "peak operating point is QoS-feasible"
+        );
     }
 
     #[test]
@@ -427,7 +428,9 @@ mod tests {
 
     #[test]
     fn reboot_gating() {
-        let profile = Microservice::Cache2.profile(PlatformKind::Skylake18).unwrap();
+        let profile = Microservice::Cache2
+            .profile(PlatformKind::Skylake18)
+            .unwrap();
         let cfg = profile.production_config.clone();
         let mut s = SimServer::with_window(profile, cfg.clone(), 3, TEST_WINDOW).unwrap();
         let mut fewer_cores = cfg.clone();
@@ -490,7 +493,9 @@ mod tests {
 
     #[test]
     fn cache_tier_latency_model_works() {
-        let profile = Microservice::Cache1.profile(PlatformKind::Skylake20).unwrap();
+        let profile = Microservice::Cache1
+            .profile(PlatformKind::Skylake20)
+            .unwrap();
         let cfg = profile.production_config.clone();
         let mut s = SimServer::with_window(profile, cfg, 5, TEST_WINDOW).unwrap();
         let lat = s.latency(1.0).unwrap();

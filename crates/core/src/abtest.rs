@@ -7,12 +7,22 @@
 //! statistically significant difference. QoS-violating settings are
 //! discarded, and reboot-requiring settings are skipped for services that
 //! cannot tolerate them.
+//!
+//! The tester is also *self-healing* against injected production hazards
+//! (see [`softsku_cluster::hazards`]): knob-apply failures are retried with
+//! exponential backoff, arm outages are waited out and followed by an
+//! automatic re-warmup, corrupted samples are screened by a rolling
+//! [`MadFilter`] before they reach the accumulators, a QoS guardrail rolls
+//! the candidate back to production when it keeps violating the SLO while
+//! the baseline does not, and when the disruption budget runs out the test
+//! degrades gracefully to [`Verdict::Inconclusive`] — it never panics and
+//! never loops forever.
 
 use crate::error::UskuError;
 use crate::metric::PerformanceMetric;
 use softsku_cluster::{AbEnvironment, Arm, ClusterError};
 use softsku_knobs::KnobSetting;
-use softsku_telemetry::stats::{welch_test, RunningStats, Summary, WelchResult};
+use softsku_telemetry::stats::{welch_test, MadFilter, RunningStats, Summary, WelchResult};
 
 /// Stopping rules for one A/B test.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +41,20 @@ pub struct AbTestConfig {
     pub min_effect: f64,
     /// How many samples between statistical checks.
     pub batch: usize,
+    /// Retries for a transiently failing knob application (exponential
+    /// backoff between attempts) before the test is declared inconclusive.
+    pub max_retries: usize,
+    /// Base backoff between knob-apply retries, seconds (doubled per retry).
+    pub backoff_base_s: f64,
+    /// Rolling window of the MAD outlier filter (accepted samples tracked
+    /// per arm).
+    pub mad_window: usize,
+    /// MAD multiples beyond which a sample is rejected as corrupted. ~8 is
+    /// inert on clean data (a ≳5σ event) but catches injected outliers.
+    pub mad_k: f64,
+    /// Consecutive candidate-only QoS failures that trigger a rollback to
+    /// production (the guardrail ignores spikes that hurt both arms).
+    pub qos_guardrail_k: usize,
 }
 
 impl Default for AbTestConfig {
@@ -42,6 +66,11 @@ impl Default for AbTestConfig {
             confidence: 0.95,
             min_effect: 0.0015,
             batch: 60,
+            max_retries: 6,
+            backoff_base_s: 60.0,
+            mad_window: 64,
+            mad_k: 8.0,
+            qos_guardrail_k: 3,
         }
     }
 }
@@ -56,6 +85,43 @@ impl AbTestConfig {
             confidence: 0.95,
             min_effect: 0.002,
             batch: 30,
+            max_retries: 6,
+            backoff_base_s: 30.0,
+            mad_window: 48,
+            mad_k: 8.0,
+            qos_guardrail_k: 3,
+        }
+    }
+
+    /// Hard ceiling on environment samples spent on one test, disruptions
+    /// included: twice the statistical budget.
+    fn attempt_budget(&self) -> usize {
+        self.max_samples.saturating_mul(2)
+    }
+}
+
+/// Why a test ended without a statistical verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InconclusiveReason {
+    /// Disruptions ate the sample budget (2 × `max_samples` attempts spent)
+    /// before the stopping rules fired.
+    SampleBudgetExhausted,
+    /// An arm stayed down past every recovery attempt.
+    ArmUnrecoverable,
+    /// The knob never applied within the retry budget.
+    KnobApplyFailed,
+}
+
+impl std::fmt::Display for InconclusiveReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InconclusiveReason::SampleBudgetExhausted => {
+                f.write_str("disruptions exhausted the sample budget")
+            }
+            InconclusiveReason::ArmUnrecoverable => f.write_str("arm did not recover"),
+            InconclusiveReason::KnobApplyFailed => {
+                f.write_str("knob application failed past the retry budget")
+            }
         }
     }
 }
@@ -81,6 +147,12 @@ pub enum Verdict {
     QosViolated,
     /// The setting requires a reboot the service cannot tolerate.
     SkippedRebootIntolerant,
+    /// Hazards disrupted the test beyond repair; no statistical claim is
+    /// made either way (graceful degradation, never a panic).
+    Inconclusive {
+        /// What ended the test.
+        reason: InconclusiveReason,
+    },
 }
 
 impl Verdict {
@@ -108,6 +180,11 @@ pub struct AbTestResult {
     pub verdict: Verdict,
     /// Samples collected per arm.
     pub samples: usize,
+    /// Environment samples attempted, disruptions and warm-ups included
+    /// (bounded at 2 × `max_samples`).
+    pub attempts: usize,
+    /// Paired samples rejected by the MAD outlier filter.
+    pub rejected_outliers: usize,
 }
 
 impl AbTestResult {
@@ -161,7 +238,13 @@ impl AbTester {
             return Err(UskuError::Knob(e));
         }
         let needs_reboot = setting.knob().requires_reboot();
-        self.run_config(env, baseline_config, &candidate_config, needs_reboot, setting)
+        self.run_config(
+            env,
+            baseline_config,
+            &candidate_config,
+            needs_reboot,
+            setting,
+        )
     }
 
     /// Tests an arbitrary whole candidate configuration against the baseline
@@ -180,48 +263,152 @@ impl AbTester {
         label: KnobSetting,
     ) -> Result<AbTestResult, UskuError> {
         let setting = label;
-        // Reboot gating.
-        match env.reconfigure(Arm::B, candidate_config.clone(), needs_reboot) {
-            Ok(()) => {}
-            Err(ClusterError::RebootNotTolerated { .. }) => {
-                return Ok(AbTestResult {
-                    setting,
-                    baseline: None,
-                    candidate: None,
-                    welch: None,
-                    verdict: Verdict::SkippedRebootIntolerant,
-                    samples: 0,
-                });
+        let early = |verdict: Verdict| AbTestResult {
+            setting,
+            baseline: None,
+            candidate: None,
+            welch: None,
+            verdict,
+            samples: 0,
+            attempts: 0,
+            rejected_outliers: 0,
+        };
+
+        // Reboot gating + knob application with bounded retry (fleet
+        // tooling flakes transiently under injected hazards).
+        match self.reconfigure_with_retry(env, Arm::B, candidate_config, needs_reboot) {
+            Ok(true) => {}
+            Ok(false) => {
+                return Ok(early(Verdict::Inconclusive {
+                    reason: InconclusiveReason::KnobApplyFailed,
+                }));
             }
-            Err(e) => return Err(e.into()),
+            Err(UskuError::Cluster(ClusterError::RebootNotTolerated { .. })) => {
+                return Ok(early(Verdict::SkippedRebootIntolerant));
+            }
+            Err(e) => return Err(e),
         }
-        env.reconfigure(Arm::A, baseline_config.clone(), false)?;
+        if !self.reconfigure_with_retry(env, Arm::A, baseline_config, false)? {
+            return Ok(early(Verdict::Inconclusive {
+                reason: InconclusiveReason::KnobApplyFailed,
+            }));
+        }
 
         // QoS guard before spending samples.
         if !env.qos_ok(Arm::B)? {
-            return Ok(AbTestResult {
-                setting,
-                baseline: None,
-                candidate: None,
-                welch: None,
-                verdict: Verdict::QosViolated,
-                samples: 0,
-            });
-        }
-
-        // Warm-up discard.
-        for _ in 0..self.config.warmup_samples {
-            let _ = self.metric.sample(env)?;
+            return Ok(early(Verdict::QosViolated));
         }
 
         let mut acc_a = RunningStats::new();
         let mut acc_b = RunningStats::new();
-        loop {
-            for _ in 0..self.config.batch {
-                let (a, b) = self.metric.sample(env)?;
-                acc_a.push(a);
-                acc_b.push(b);
+        let mut mad_a = MadFilter::new(self.config.mad_window, self.config.mad_k);
+        let mut mad_b = MadFilter::new(self.config.mad_window, self.config.mad_k);
+        let mut attempts = 0usize;
+        let mut rejected_outliers = 0usize;
+        // Initial warm-up, and re-warm after every outage: an arm that just
+        // came back serves cold caches.
+        let mut rewarm = self.config.warmup_samples;
+        let mut qos_strikes = 0usize;
+        let budget = self.config.attempt_budget();
+
+        let finish = |verdict: Verdict,
+                      acc_a: &RunningStats,
+                      acc_b: &RunningStats,
+                      attempts: usize,
+                      rejected_outliers: usize| {
+            let sa = acc_a.summary().ok();
+            let sb = acc_b.summary().ok();
+            let welch = match (&sa, &sb) {
+                (Some(a), Some(b)) => Some(welch_test(b, a)),
+                _ => None,
+            };
+            AbTestResult {
+                setting,
+                baseline: sa,
+                candidate: sb,
+                welch,
+                verdict,
+                samples: acc_a.count() as usize,
+                attempts,
+                rejected_outliers,
             }
+        };
+
+        loop {
+            // Collect one batch, healing around disruptions as they land.
+            let mut collected = 0usize;
+            while collected < self.config.batch {
+                if attempts >= budget {
+                    return Ok(finish(
+                        Verdict::Inconclusive {
+                            reason: InconclusiveReason::SampleBudgetExhausted,
+                        },
+                        &acc_a,
+                        &acc_b,
+                        attempts,
+                        rejected_outliers,
+                    ));
+                }
+                attempts += 1;
+                match self.metric.sample(env) {
+                    Ok((a, b)) => {
+                        if rewarm > 0 {
+                            rewarm -= 1;
+                            continue;
+                        }
+                        // Screen both readings; a corrupted reading on either
+                        // arm drops the whole pair so the arms stay paired.
+                        let ok_a = mad_a.accept(a);
+                        let ok_b = mad_b.accept(b);
+                        if ok_a && ok_b {
+                            acc_a.push(a);
+                            acc_b.push(b);
+                            collected += 1;
+                        } else {
+                            rejected_outliers += 1;
+                            env.record_event("recovery", "outlier_rejected");
+                        }
+                    }
+                    Err(UskuError::Cluster(ClusterError::ArmDown { until_s, .. })) => {
+                        // Wait out the outage, then re-warm the returned arm.
+                        let gap = (until_s - env.time_s()).max(0.0);
+                        env.wait(gap);
+                        env.record_event("recovery", "arm_down");
+                        rewarm = self.config.warmup_samples;
+                    }
+                    Err(UskuError::Cluster(ClusterError::TelemetryDropout { .. })) => {
+                        // The sample is gone but the clock advanced; the next
+                        // one is independent. Nothing to heal beyond noting it.
+                        env.record_event("recovery", "dropout");
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+
+            // QoS guardrail: a candidate that keeps violating the SLO while
+            // the baseline (same load, spikes included) does not is rolled
+            // back to production immediately — fleet safety beats finishing
+            // the measurement.
+            let b_ok = env.qos_ok_now(Arm::B)?;
+            let a_ok = env.qos_ok_now(Arm::A)?;
+            if !b_ok && a_ok {
+                qos_strikes += 1;
+            } else {
+                qos_strikes = 0;
+            }
+            if qos_strikes >= self.config.qos_guardrail_k.max(1) {
+                // Best-effort rollback; the verdict stands either way.
+                let _ = self.reconfigure_with_retry(env, Arm::B, baseline_config, false);
+                env.record_event("recovery", "qos_rollback");
+                return Ok(finish(
+                    Verdict::QosViolated,
+                    &acc_a,
+                    &acc_b,
+                    attempts,
+                    rejected_outliers,
+                ));
+            }
+
             let n = acc_a.count() as usize;
             if n < self.config.min_samples {
                 continue;
@@ -245,6 +432,8 @@ impl AbTester {
                     welch: Some(w),
                     verdict,
                     samples: n,
+                    attempts,
+                    rejected_outliers,
                 });
             }
 
@@ -260,9 +449,45 @@ impl AbTester {
                     welch: Some(w),
                     verdict: Verdict::NoDifference,
                     samples: n,
+                    attempts,
+                    rejected_outliers,
                 });
             }
         }
+    }
+
+    /// Applies `config` to `arm`, retrying transient knob-apply failures
+    /// with exponential backoff. Returns `Ok(false)` when the retry budget
+    /// is exhausted (the caller degrades to an inconclusive verdict).
+    ///
+    /// # Errors
+    ///
+    /// Non-transient environment errors (reboot intolerance, engine
+    /// validation) propagate untouched.
+    fn reconfigure_with_retry(
+        &self,
+        env: &mut AbEnvironment,
+        arm: Arm,
+        config: &softsku_archsim::engine::ServerConfig,
+        needs_reboot: bool,
+    ) -> Result<bool, UskuError> {
+        for attempt in 0..=self.config.max_retries {
+            match env.reconfigure(arm, config.clone(), needs_reboot) {
+                Ok(()) => {
+                    if attempt > 0 {
+                        env.record_event("recovery", "knob_retry_ok");
+                    }
+                    return Ok(true);
+                }
+                Err(ClusterError::KnobApplyFailed { .. }) => {
+                    let backoff =
+                        self.config.backoff_base_s.max(1.0) * f64::powi(2.0, attempt as i32);
+                    env.wait(backoff);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(false)
     }
 }
 
@@ -295,7 +520,11 @@ mod tests {
             }
             other => panic!("expected Worse, got {other:?}"),
         }
-        assert!(r.samples < 1000, "clear effects need few samples: {}", r.samples);
+        assert!(
+            r.samples < 1000,
+            "clear effects need few samples: {}",
+            r.samples
+        );
     }
 
     #[test]
@@ -304,9 +533,18 @@ mod tests {
         let base = e.profile().production_config.clone();
         // Re-apply the production core frequency: a true null effect.
         let r = tester()
-            .run(&mut e, &base, KnobSetting::CoreFrequencyGhz(base.core_freq_ghz))
+            .run(
+                &mut e,
+                &base,
+                KnobSetting::CoreFrequencyGhz(base.core_freq_ghz),
+            )
             .unwrap();
-        assert_eq!(r.verdict, Verdict::NoDifference, "diff {:?}", r.relative_diff());
+        assert_eq!(
+            r.verdict,
+            Verdict::NoDifference,
+            "diff {:?}",
+            r.relative_diff()
+        );
     }
 
     #[test]
@@ -342,8 +580,193 @@ mod tests {
         base.llc_ways_enabled = 2;
         // Probe via a no-reboot knob on the already-starved baseline.
         let r = tester()
-            .run(&mut e, &base, KnobSetting::Thp(softsku_archsim::ThpMode::Madvise))
+            .run(
+                &mut e,
+                &base,
+                KnobSetting::Thp(softsku_archsim::ThpMode::Madvise),
+            )
             .unwrap();
         assert_eq!(r.verdict, Verdict::QosViolated);
+    }
+
+    fn hazardous_env(hazards: softsku_cluster::HazardConfig, seed: u64) -> AbEnvironment {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let mut cfg = EnvConfig::fast_test();
+        cfg.hazards = hazards;
+        AbEnvironment::new(profile, cfg, seed).unwrap()
+    }
+
+    #[test]
+    fn survives_crashes_dropouts_and_outliers() {
+        use softsku_cluster::HazardConfig;
+        let mut e = hazardous_env(
+            HazardConfig {
+                crash_rate_per_hour: 1.0,
+                crash_outage_s: 300.0,
+                dropout_prob: 0.05,
+                outlier_prob: 0.05,
+                outlier_magnitude: 0.8,
+                ..HazardConfig::none()
+            },
+            3,
+        );
+        let base = e.profile().production_config.clone();
+        let r = tester()
+            .run(&mut e, &base, KnobSetting::CoreFrequencyGhz(1.6))
+            .unwrap();
+        // The regression is huge; hazards must not flip or hide it.
+        match r.verdict {
+            Verdict::Worse { loss } => assert!(loss < -0.10, "loss {loss}"),
+            other => panic!("expected Worse despite hazards, got {other:?}"),
+        }
+        assert!(r.attempts >= r.samples);
+        assert!(
+            r.attempts <= tester().config().attempt_budget(),
+            "attempts {} over budget",
+            r.attempts
+        );
+        assert!(r.rejected_outliers > 0, "80 % outliers must get screened");
+    }
+
+    #[test]
+    fn outliers_do_not_flip_a_null_effect() {
+        use softsku_cluster::HazardConfig;
+        let mut e = hazardous_env(
+            HazardConfig {
+                outlier_prob: 0.04,
+                outlier_magnitude: 1.0,
+                ..HazardConfig::none()
+            },
+            5,
+        );
+        let base = e.profile().production_config.clone();
+        let r = tester()
+            .run(
+                &mut e,
+                &base,
+                KnobSetting::CoreFrequencyGhz(base.core_freq_ghz),
+            )
+            .unwrap();
+        assert_eq!(
+            r.verdict,
+            Verdict::NoDifference,
+            "diff {:?}",
+            r.relative_diff()
+        );
+        assert!(r.rejected_outliers > 0);
+    }
+
+    #[test]
+    fn knob_failures_retry_then_succeed_or_degrade() {
+        use softsku_cluster::HazardConfig;
+        // Flaky-but-workable tooling: retries succeed.
+        let mut e = hazardous_env(
+            HazardConfig {
+                knob_failure_prob: 0.5,
+                ..HazardConfig::none()
+            },
+            7,
+        );
+        let base = e.profile().production_config.clone();
+        let r = tester()
+            .run(&mut e, &base, KnobSetting::CoreFrequencyGhz(1.6))
+            .unwrap();
+        assert!(
+            matches!(r.verdict, Verdict::Worse { .. }),
+            "retries should land the knob: {:?}",
+            r.verdict
+        );
+
+        // Hopeless tooling (validated cap is 0.9): the test must degrade to
+        // an inconclusive verdict, not loop forever or panic.
+        let mut e = hazardous_env(
+            HazardConfig {
+                knob_failure_prob: 0.9,
+                ..HazardConfig::none()
+            },
+            1,
+        );
+        let mut saw_inconclusive = false;
+        for seed_extra in 0..6 {
+            let _ = seed_extra;
+            let r = tester()
+                .run(&mut e, &base, KnobSetting::CoreFrequencyGhz(1.6))
+                .unwrap();
+            if let Verdict::Inconclusive { reason } = r.verdict {
+                assert_eq!(reason, InconclusiveReason::KnobApplyFailed);
+                assert_eq!(r.samples, 0);
+                saw_inconclusive = true;
+                break;
+            }
+        }
+        assert!(
+            saw_inconclusive,
+            "p=0.9 across 7 attempts should fail at least once in 6 runs"
+        );
+    }
+
+    #[test]
+    fn heavy_dropouts_exhaust_budget_gracefully() {
+        use softsku_cluster::HazardConfig;
+        // 90 % dropouts (validation cap): a null-effect test cannot converge
+        // within 2× max_samples attempts, so it must degrade, not hang.
+        let mut e = hazardous_env(
+            HazardConfig {
+                dropout_prob: 0.95,
+                ..HazardConfig::none()
+            },
+            9,
+        );
+        let base = e.profile().production_config.clone();
+        let mut cfg = AbTestConfig::fast_test();
+        cfg.max_samples = 300;
+        let t = AbTester::new(cfg, PerformanceMetric::Mips);
+        let r = t
+            .run(
+                &mut e,
+                &base,
+                KnobSetting::CoreFrequencyGhz(base.core_freq_ghz),
+            )
+            .unwrap();
+        match r.verdict {
+            Verdict::Inconclusive { reason } => {
+                assert_eq!(reason, InconclusiveReason::SampleBudgetExhausted);
+                assert!(r.attempts <= cfg.attempt_budget());
+            }
+            // With ~10 % of samples surviving it may still converge; both
+            // are acceptable — what matters is neither panic nor hang.
+            Verdict::NoDifference => {}
+            other => panic!("unexpected verdict {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qos_guardrail_rolls_back_candidate_only_violations() {
+        use softsku_cluster::HazardConfig;
+        // Constant heavy spikes push the load to the cap; a near-QoS-edge
+        // candidate then violates while the production baseline holds.
+        let mut e = hazardous_env(
+            HazardConfig {
+                spike_rate_per_hour: 60.0,
+                spike_duration_s: 600.0,
+                spike_magnitude: 0.5,
+                ..HazardConfig::none()
+            },
+            11,
+        );
+        let base = e.profile().production_config.clone();
+        let r = tester()
+            .run(&mut e, &base, KnobSetting::CoreFrequencyGhz(1.6))
+            .unwrap();
+        match r.verdict {
+            // Either the guardrail fires (rolled back, QosViolated) or the
+            // huge regression is detected first — both are self-healing.
+            Verdict::QosViolated | Verdict::Worse { .. } => {}
+            other => panic!("unexpected verdict {other:?}"),
+        }
+        if r.verdict == Verdict::QosViolated {
+            // Candidate was rolled back to the production configuration.
+            assert_eq!(e.arm_config(Arm::B), &base);
+        }
     }
 }

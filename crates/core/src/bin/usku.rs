@@ -22,10 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
     let render_map = args.iter().any(|a| a == "--render-map");
-    let paths: Vec<&String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let Some(path) = paths.first() else {
         eprintln!("usage: usku <input-file> [--fast] [--render-map]");
         std::process::exit(2);

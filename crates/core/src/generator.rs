@@ -77,8 +77,8 @@ impl<'a> SoftSkuGenerator<'a> {
             _ => vs_prod.relative_diff().unwrap_or(0.0),
         };
 
-        let needs_reboot_stock = config.active_cores != stock.active_cores
-            || config.shp_pages != stock.shp_pages;
+        let needs_reboot_stock =
+            config.active_cores != stock.active_cores || config.shp_pages != stock.shp_pages;
         let vs_stock = self
             .tester
             .run_config(env, stock, &config, needs_reboot_stock, label)?;
@@ -139,10 +139,8 @@ mod tests {
         let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
         let production = profile.production_config.clone();
         let stock = profile.stock_config.clone();
-        let space = KnobSpace::for_platform(
-            &production.platform,
-            WorkloadConstraints::permissive(),
-        );
+        let space =
+            KnobSpace::for_platform(&production.platform, WorkloadConstraints::permissive());
         let mut env = AbEnvironment::new(profile.clone(), EnvConfig::fast_test(), 31).unwrap();
         let tester = AbTester::new(AbTestConfig::fast_test(), PerformanceMetric::Mips);
 

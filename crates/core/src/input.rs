@@ -137,20 +137,22 @@ impl InputFile {
                     if microservice.is_some() {
                         return Err(dup("microservice"));
                     }
-                    microservice =
-                        Some(Microservice::from_name(value).map_err(|e| UskuError::InputParse {
+                    microservice = Some(Microservice::from_name(value).map_err(|e| {
+                        UskuError::InputParse {
                             line: line_no,
                             detail: e.to_string(),
-                        })?);
+                        }
+                    })?);
                 }
                 "platform" => {
                     if platform.is_some() {
                         return Err(dup("platform"));
                     }
-                    platform = Some(parse_platform(value).ok_or_else(|| UskuError::InputParse {
-                        line: line_no,
-                        detail: format!("unknown platform {value:?}"),
-                    })?);
+                    platform =
+                        Some(parse_platform(value).ok_or_else(|| UskuError::InputParse {
+                            line: line_no,
+                            detail: format!("unknown platform {value:?}"),
+                        })?);
                 }
                 "sweep" => {
                     if sweep.is_some() {
@@ -172,11 +174,10 @@ impl InputFile {
                         if name.is_empty() {
                             continue;
                         }
-                        let knob =
-                            Knob::from_name(&name).ok_or_else(|| UskuError::InputParse {
-                                line: line_no,
-                                detail: format!("unknown knob {name:?}"),
-                            })?;
+                        let knob = Knob::from_name(&name).ok_or_else(|| UskuError::InputParse {
+                            line: line_no,
+                            detail: format!("unknown knob {name:?}"),
+                        })?;
                         list.push(knob);
                     }
                     if list.is_empty() {
@@ -188,12 +189,15 @@ impl InputFile {
                     knobs = Some(list);
                 }
                 "metric" => {
-                    metric = PerformanceMetric::from_name(&value.to_lowercase()).ok_or_else(
-                        || UskuError::InputParse {
-                            line: line_no,
-                            detail: format!("unknown metric {value:?} (mips | qps | mips_per_watt)"),
-                        },
-                    )?;
+                    metric =
+                        PerformanceMetric::from_name(&value.to_lowercase()).ok_or_else(|| {
+                            UskuError::InputParse {
+                                line: line_no,
+                                detail: format!(
+                                    "unknown metric {value:?} (mips | qps | mips_per_watt)"
+                                ),
+                            }
+                        })?;
                 }
                 "seed" => {
                     seed = value.parse().map_err(|_| UskuError::InputParse {
@@ -290,7 +294,10 @@ seed = 7
         assert!(InputFile::parse("microservice = web\nsweep = random\n").is_err());
         assert!(InputFile::parse("microservice = web\nknobs = turbo\n").is_err());
         assert!(InputFile::parse("microservice = web\nseed = -1\n").is_err());
-        assert!(InputFile::parse("platform = skylake18\n").is_err(), "service required");
+        assert!(
+            InputFile::parse("platform = skylake18\n").is_err(),
+            "service required"
+        );
         assert!(InputFile::parse("microservice = web\nmicroservice = ads1\n").is_err());
         assert!(InputFile::parse("just a line\n").is_err());
     }

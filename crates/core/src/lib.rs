@@ -52,7 +52,7 @@ pub mod objective;
 pub mod search;
 pub mod usku;
 
-pub use abtest::{AbTestConfig, AbTestResult, AbTester, Verdict};
+pub use abtest::{AbTestConfig, AbTestResult, AbTester, InconclusiveReason, Verdict};
 pub use error::UskuError;
 pub use generator::{SoftSku, SoftSkuGenerator};
 pub use input::{InputFile, SweepConfig};

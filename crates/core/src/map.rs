@@ -72,6 +72,11 @@ impl DesignSpaceMap {
         self.count_verdict(|v| matches!(v, Verdict::SkippedRebootIntolerant))
     }
 
+    /// Tests that hazards disrupted beyond a statistical claim.
+    pub fn inconclusive(&self) -> usize {
+        self.count_verdict(|v| matches!(v, Verdict::Inconclusive { .. }))
+    }
+
     fn count_verdict(&self, pred: impl Fn(&Verdict) -> bool) -> usize {
         self.per_knob
             .values()
@@ -91,9 +96,8 @@ impl DesignSpaceMap {
                     Verdict::Worse { loss } => format!("worse {:+.2}%", loss * 100.0),
                     Verdict::NoDifference => "no significant difference".to_string(),
                     Verdict::QosViolated => "discarded: QoS violation".to_string(),
-                    Verdict::SkippedRebootIntolerant => {
-                        "skipped: reboot not tolerated".to_string()
-                    }
+                    Verdict::SkippedRebootIntolerant => "skipped: reboot not tolerated".to_string(),
+                    Verdict::Inconclusive { reason } => format!("inconclusive: {reason}"),
                 };
                 out.push_str(&format!(
                     "  {:<28} {:<28} ({} samples)\n",
@@ -120,6 +124,8 @@ mod tests {
             welch: None,
             verdict,
             samples,
+            attempts: samples,
+            rejected_outliers: 0,
         }
     }
 
@@ -178,6 +184,22 @@ mod tests {
         let rendered = map.render();
         assert!(rendered.contains("QoS violation"));
         assert!(rendered.contains("reboot not tolerated"));
+    }
+
+    #[test]
+    fn inconclusive_results_are_counted_and_rendered() {
+        use crate::abtest::InconclusiveReason;
+        let mut map = DesignSpaceMap::new();
+        map.record(result(
+            KnobSetting::ShpPages(100),
+            Verdict::Inconclusive {
+                reason: InconclusiveReason::SampleBudgetExhausted,
+            },
+            40,
+        ));
+        assert_eq!(map.inconclusive(), 1);
+        assert!(map.best_setting(Knob::Shp).is_none());
+        assert!(map.render().contains("inconclusive"));
     }
 
     #[test]

@@ -53,8 +53,8 @@ impl PowerModel {
         let util = load.clamp(0.0, 1.0);
         let dynamic = cores * self.core_watts_per_ghz3 * f * f * f * util;
         let idle = cores * self.core_idle_watts;
-        let uncore = self.uncore_watts
-            * (config.uncore_freq_ghz / config.platform.uncore_freq_range_ghz.1);
+        let uncore =
+            self.uncore_watts * (config.uncore_freq_ghz / config.platform.uncore_freq_range_ghz.1);
         self.static_watts + dynamic + idle + uncore
     }
 }

@@ -78,8 +78,7 @@ pub fn exhaustive_sweep(
     budget: usize,
 ) -> Result<SearchOutcome, UskuError> {
     let mut map = DesignSpaceMap::new();
-    let candidate_lists: Vec<&[KnobSetting]> =
-        knobs.iter().map(|&k| space.candidates(k)).collect();
+    let candidate_lists: Vec<&[KnobSetting]> = knobs.iter().map(|&k| space.candidates(k)).collect();
     type JointBest = (ServerConfig, Vec<(Knob, KnobSetting, f64)>, f64);
     let mut best: Option<JointBest> = None;
     let mut tested = 0usize;
@@ -111,7 +110,13 @@ pub fn exhaustive_sweep(
             // apply it wholesale to arm B through the last knob's setting
             // record (the map stores per-knob entries; joint entries are
             // recorded under each constituent knob).
-            let result = run_joint(tester, env, baseline, &config, *settings.last().expect("non-empty"))?;
+            let result = run_joint(
+                tester,
+                env,
+                baseline,
+                &config,
+                *settings.last().expect("non-empty"),
+            )?;
             if let Verdict::Better { gain } = result.verdict {
                 let is_better = best.as_ref().is_none_or(|(_, _, g)| gain > *g);
                 if is_better {
@@ -233,8 +238,8 @@ fn run_joint(
     joint: &ServerConfig,
     label_setting: KnobSetting,
 ) -> Result<AbTestResult, UskuError> {
-    let needs_reboot = joint.active_cores != baseline.active_cores
-        || joint.shp_pages != baseline.shp_pages;
+    let needs_reboot =
+        joint.active_cores != baseline.active_cores || joint.shp_pages != baseline.shp_pages;
     tester.run_config(env, baseline, joint, needs_reboot, label_setting)
 }
 
@@ -301,15 +306,7 @@ mod tests {
     #[test]
     fn exhaustive_respects_budget() {
         let (tester, mut env, baseline, space) = setup();
-        let out = exhaustive_sweep(
-            &tester,
-            &mut env,
-            &baseline,
-            &space,
-            &[Knob::Thp],
-            2,
-        )
-        .unwrap();
+        let out = exhaustive_sweep(&tester, &mut env, &baseline, &space, &[Knob::Thp], 2).unwrap();
         assert!(out.map.test_count() <= 2);
     }
 }

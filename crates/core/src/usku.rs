@@ -71,6 +71,9 @@ pub struct UskuReport {
     /// Simulated wall-clock the search consumed, seconds (the paper's
     /// prototype takes "5-10 hours" per service).
     pub search_time_s: f64,
+    /// Injected-hazard and recovery event counts from the A/B environment
+    /// (`"hazards/injected.spike"` → n), empty for hazard-free runs.
+    pub hazard_counts: Vec<(String, u64)>,
 }
 
 /// Tunables for a full µSKU run.
@@ -174,6 +177,7 @@ impl Usku {
         let generator = SoftSkuGenerator::new(&tester);
         let soft_sku = generator.generate(&mut env, &outcome, &production, &stock)?;
         let search_time_s = env.time_s();
+        let hazard_counts = env.hazard_counts();
 
         let validation = if self.config.validate_days > 0.0 {
             Some(generator.validate(
@@ -194,6 +198,7 @@ impl Usku {
             soft_sku,
             validation,
             search_time_s,
+            hazard_counts,
         })
     }
 }
@@ -207,12 +212,19 @@ impl UskuReport {
             self.input.microservice, self.input.platform, self.input.sweep, self.input.metric
         ));
         out.push_str(&format!(
-            "  tests: {} ({} samples; {} QoS discards, {} reboot skips)\n",
+            "  tests: {} ({} samples; {} QoS discards, {} reboot skips, {} inconclusive)\n",
             self.map.test_count(),
             self.map.sample_count(),
             self.map.qos_discards(),
-            self.map.reboot_skips()
+            self.map.reboot_skips(),
+            self.map.inconclusive()
         ));
+        if !self.hazard_counts.is_empty() {
+            out.push_str("  hazards survived:\n");
+            for (series, n) in &self.hazard_counts {
+                out.push_str(&format!("    {series:<36} {n}\n"));
+            }
+        }
         out.push_str(&format!(
             "  search time: {:.1} simulated hours\n",
             self.search_time_s / 3600.0
@@ -277,8 +289,7 @@ mod tests {
 
     #[test]
     fn end_to_end_small_run_produces_winning_sku() {
-        let input =
-            InputFile::parse("microservice = web\nknobs = thp, shp\nseed = 13\n").unwrap();
+        let input = InputFile::parse("microservice = web\nknobs = thp, shp\nseed = 13\n").unwrap();
         let usku = Usku::with_config(input, UskuConfig::fast_test());
         let report = usku.run().unwrap();
         assert!(

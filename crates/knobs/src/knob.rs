@@ -217,7 +217,9 @@ mod tests {
     fn invalid_values_rejected() {
         let mut cfg = base();
         assert!(KnobSetting::CoreFrequencyGhz(3.5).apply(&mut cfg).is_err());
-        assert!(KnobSetting::UncoreFrequencyGhz(0.9).apply(&mut cfg).is_err());
+        assert!(KnobSetting::UncoreFrequencyGhz(0.9)
+            .apply(&mut cfg)
+            .is_err());
         assert!(KnobSetting::CoreCount(99).apply(&mut cfg).is_err());
         // Partition that does not match the 11 enabled ways.
         let bad = CdpPartition::new(4, 4, 8).unwrap();

@@ -97,10 +97,7 @@ impl KnobSpace {
         let thp = ThpMode::ALL.into_iter().map(KnobSetting::Thp).collect();
 
         let shp = if constraints.tolerates_reboot && constraints.uses_shp {
-            (0..=600)
-                .step_by(100)
-                .map(KnobSetting::ShpPages)
-                .collect()
+            (0..=600).step_by(100).map(KnobSetting::ShpPages).collect()
         } else {
             Vec::new()
         };
@@ -163,7 +160,10 @@ impl KnobSpace {
 
     /// Total number of A/B tests for the independent sweep.
     pub fn independent_size(&self) -> usize {
-        Knob::ALL.into_iter().map(|k| self.candidates(k).len()).sum()
+        Knob::ALL
+            .into_iter()
+            .map(|k| self.candidates(k).len())
+            .sum()
     }
 }
 

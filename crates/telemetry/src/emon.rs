@@ -153,7 +153,11 @@ impl MultiplexedSampler {
             )));
         }
         let rng = SmallRng::seed_from_u64(config.seed);
-        Ok(MultiplexedSampler { events, config, rng })
+        Ok(MultiplexedSampler {
+            events,
+            config,
+            rng,
+        })
     }
 
     /// Number of rotation groups needed to cover all programmable events.

@@ -80,12 +80,21 @@ mod tests {
     fn display_is_nonempty_and_lowercase_ish() {
         let variants: Vec<TelemetryError> = vec![
             TelemetryError::EmptySamples,
-            TelemetryError::InsufficientSamples { required: 2, got: 0 },
+            TelemetryError::InsufficientSamples {
+                required: 2,
+                got: 0,
+            },
             TelemetryError::InvalidQuantile(1.5),
             TelemetryError::InvalidConfidence(0.0),
-            TelemetryError::NonMonotonicTimestamp { last: 5.0, offered: 1.0 },
+            TelemetryError::NonMonotonicTimestamp {
+                last: 5.0,
+                offered: 1.0,
+            },
             TelemetryError::UnknownSeries("web.qps".into()),
-            TelemetryError::EmptyWindow { start: 2.0, end: 1.0 },
+            TelemetryError::EmptyWindow {
+                start: 2.0,
+                end: 1.0,
+            },
             TelemetryError::InvalidSamplerConfig("zero slots".into()),
         ];
         for v in variants {

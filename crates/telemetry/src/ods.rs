@@ -84,11 +84,16 @@ impl Ods {
     }
 
     /// Creates a store that discards points older than `window` (relative to
-    /// the newest point of each series) on every append.
+    /// the newest point of each series) on every append. A point at exactly
+    /// `newest − window` is still retained. Negative or NaN windows are
+    /// clamped to zero (keep only the newest timestamp cohort) so an append
+    /// can never evict the point it just stored.
     pub fn with_retention(window: f64) -> Self {
         Ods {
             series: BTreeMap::new(),
-            retention: Some(window),
+            // f64::max treats NaN as "the other operand", so this clamps
+            // both negative and NaN windows in one step.
+            retention: Some(window.max(0.0)),
         }
     }
 
@@ -151,12 +156,19 @@ impl Ods {
 
     /// The points of `key` with timestamps in `[start, end)`.
     ///
+    /// A zero-width window (`start == end`) is a valid query returning an
+    /// empty slice — callers polling a live series between flushes hit this
+    /// constantly and must not have to special-case it.
+    ///
     /// # Errors
     ///
     /// * [`TelemetryError::UnknownSeries`] for a missing series.
-    /// * [`TelemetryError::EmptyWindow`] for an inverted window.
+    /// * [`TelemetryError::EmptyWindow`] for an inverted (`end < start`) or
+    ///   NaN-bounded window. Infinite bounds are fine ("whole series").
     pub fn range(&self, key: &SeriesKey, start: f64, end: f64) -> Result<&[Point], TelemetryError> {
-        if end <= start {
+        // NaN makes `end < start` false, so check it explicitly: a NaN bound
+        // is a caller bug and must not masquerade as an empty result.
+        if end < start || start.is_nan() || end.is_nan() {
             return Err(TelemetryError::EmptyWindow { start, end });
         }
         let points = self
@@ -298,7 +310,15 @@ mod tests {
     fn window_errors() {
         let (ods, key) = filled();
         assert!(matches!(
-            ods.range(&key, 5.0, 5.0),
+            ods.range(&key, 6.0, 5.0),
+            Err(TelemetryError::EmptyWindow { .. })
+        ));
+        assert!(matches!(
+            ods.range(&key, f64::NAN, 5.0),
+            Err(TelemetryError::EmptyWindow { .. })
+        ));
+        assert!(matches!(
+            ods.range(&key, 0.0, f64::NAN),
             Err(TelemetryError::EmptyWindow { .. })
         ));
         let missing = SeriesKey::new("nope", "mips");
@@ -309,6 +329,32 @@ mod tests {
         assert!(matches!(
             ods.percentile_in(&key, 0.0, 1.0, 1.5),
             Err(TelemetryError::InvalidQuantile(_))
+        ));
+    }
+
+    #[test]
+    fn zero_width_and_out_of_band_windows_are_empty_not_errors() {
+        let (ods, key) = filled();
+        // Zero width: valid query, nothing in it.
+        assert_eq!(ods.range(&key, 5.0, 5.0).unwrap(), &[]);
+        // Entirely before / after the data: empty, not an error.
+        assert_eq!(ods.range(&key, -10.0, -1.0).unwrap(), &[]);
+        assert_eq!(ods.range(&key, 200.0, 300.0).unwrap(), &[]);
+        // Infinite bounds select the whole series.
+        assert_eq!(
+            ods.range(&key, f64::NEG_INFINITY, f64::INFINITY)
+                .unwrap()
+                .len(),
+            100
+        );
+        // Aggregates over an empty-but-valid window degrade to EmptySamples.
+        assert!(matches!(
+            ods.mean_in(&key, 5.0, 5.0),
+            Err(TelemetryError::EmptySamples)
+        ));
+        assert!(matches!(
+            ods.percentile_in(&key, 5.0, 5.0, 0.5),
+            Err(TelemetryError::EmptySamples)
         ));
     }
 
@@ -337,9 +383,44 @@ mod tests {
     }
 
     #[test]
+    fn retention_keeps_the_boundary_point() {
+        let mut ods = Ods::with_retention(10.0);
+        let key = SeriesKey::new("web.host1", "qps");
+        ods.append(&key, 0.0, 1.0).unwrap();
+        ods.append(&key, 5.0, 2.0).unwrap();
+        // Newest = 10.0; the point at exactly 10.0 − 10.0 = 0.0 survives.
+        ods.append(&key, 10.0, 3.0).unwrap();
+        assert_eq!(ods.len(&key), 3);
+        // One hair past the window and it goes.
+        ods.append(&key, 10.0 + 1e-9, 4.0).unwrap();
+        assert_eq!(ods.range(&key, 0.0, 1e9).unwrap()[0].0, 5.0);
+    }
+
+    #[test]
+    fn degenerate_retention_windows_never_eat_the_new_point() {
+        for window in [-5.0, f64::NAN, 0.0] {
+            let mut ods = Ods::with_retention(window);
+            let key = SeriesKey::new("web.host1", "qps");
+            ods.append(&key, 1.0, 1.0).unwrap();
+            ods.append(&key, 2.0, 2.0).unwrap();
+            // The just-appended point must always survive its own append.
+            assert_eq!(ods.last(&key).unwrap(), (2.0, 2.0));
+            assert!(ods.len(&key) >= 1);
+        }
+        // Zero retention keeps exactly the newest timestamp cohort.
+        let mut ods = Ods::with_retention(0.0);
+        let key = SeriesKey::new("web.host1", "qps");
+        ods.append(&key, 1.0, 1.0).unwrap();
+        ods.append(&key, 2.0, 2.0).unwrap();
+        ods.append(&key, 2.0, 3.0).unwrap();
+        assert_eq!(ods.len(&key), 2, "both points at t=2 are within window 0");
+    }
+
+    #[test]
     fn keys_are_sorted_and_displayable() {
         let (mut ods, _) = filled();
-        ods.append(&SeriesKey::new("ads1.h", "qps"), 0.0, 1.0).unwrap();
+        ods.append(&SeriesKey::new("ads1.h", "qps"), 0.0, 1.0)
+            .unwrap();
         let keys: Vec<String> = ods.keys().map(|k| k.to_string()).collect();
         assert_eq!(keys.len(), 2);
         assert!(keys[0] < keys[1]);

@@ -1,0 +1,204 @@
+//! Robust outlier rejection via the median absolute deviation (MAD).
+//!
+//! Corrupted telemetry (a counter wraps, a collection daemon stalls, an
+//! injected hazard fires) produces samples tens of percent off the true
+//! value. Welch's t-test is mean-based and has no protection against them,
+//! so the self-healing A/B consumer screens each sample against a rolling
+//! MAD window first: a sample farther than `k` MADs from the rolling median
+//! is rejected before it reaches the running statistics. With `k ≈ 8` the
+//! filter is inert on clean Gaussian data (a rejection is a ≳5σ event) yet
+//! catches the ±50 % corruption hazards inject.
+
+use std::collections::VecDeque;
+
+/// Rolling MAD-based accept/reject filter.
+///
+/// # Example
+///
+/// ```
+/// use softsku_telemetry::stats::MadFilter;
+///
+/// let mut f = MadFilter::new(32, 8.0);
+/// for i in 0..32 {
+///     assert!(f.accept(100.0 + (i % 5) as f64)); // clean data passes
+/// }
+/// assert!(!f.accept(250.0)); // a 2.5× outlier is rejected
+/// ```
+#[derive(Debug, Clone)]
+pub struct MadFilter {
+    window: usize,
+    k: f64,
+    recent: VecDeque<f64>,
+}
+
+impl MadFilter {
+    /// Accepted samples required before the filter starts rejecting; below
+    /// this the median/MAD estimates are too unstable to trust.
+    const MIN_TRACK: usize = 12;
+
+    /// Creates a filter over a rolling window of `window` accepted samples,
+    /// rejecting values farther than `k` MADs from the rolling median.
+    /// `window` is floored at [`Self::MIN_TRACK`] and `k` at 1.
+    pub fn new(window: usize, k: f64) -> Self {
+        MadFilter {
+            window: window.max(Self::MIN_TRACK),
+            k: k.max(1.0),
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Number of samples currently tracked.
+    pub fn len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Whether no samples have been tracked yet.
+    pub fn is_empty(&self) -> bool {
+        self.recent.is_empty()
+    }
+
+    /// Whether the filter has seen enough samples to reject anything.
+    pub fn is_warm(&self) -> bool {
+        self.recent.len() >= Self::MIN_TRACK
+    }
+
+    /// Tests `x` against the rolling window; accepted samples join the
+    /// window (evicting the oldest), rejected ones never contaminate it.
+    /// Non-finite samples are always rejected once the filter is warm.
+    pub fn accept(&mut self, x: f64) -> bool {
+        if !self.is_warm() {
+            if x.is_finite() {
+                self.push(x);
+            }
+            return true;
+        }
+        if !x.is_finite() {
+            return false;
+        }
+        let median = self.median();
+        let mad = self.mad(median);
+        // Floor the scale so a near-constant window (MAD → 0) doesn't
+        // reject ordinary jitter: no tighter than 0.01 % of the median.
+        let scale = mad.max(1e-4 * median.abs()).max(f64::MIN_POSITIVE);
+        // A partially-filled window underestimates the MAD badly (12-sample
+        // MAD of a uniform stream can sit at a quarter of its asymptote), so
+        // widen the band in proportion until the window fills. Gross
+        // corruption sits tens of scales out and is still caught.
+        let k = self.k * (self.window as f64 / self.recent.len() as f64).max(1.0);
+        let ok = (x - median).abs() <= k * scale;
+        if ok {
+            self.push(x);
+        }
+        ok
+    }
+
+    fn push(&mut self, x: f64) {
+        if self.recent.len() == self.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(x);
+    }
+
+    fn median(&self) -> f64 {
+        let mut v: Vec<f64> = self.recent.iter().copied().collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("tracked samples are finite"));
+        let n = v.len();
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        }
+    }
+
+    fn mad(&self, median: f64) -> f64 {
+        let mut dev: Vec<f64> = self.recent.iter().map(|x| (x - median).abs()).collect();
+        dev.sort_by(|a, b| a.partial_cmp(b).expect("deviations are finite"));
+        let n = dev.len();
+        if n % 2 == 1 {
+            dev[n / 2]
+        } else {
+            (dev[n / 2 - 1] + dev[n / 2]) / 2.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_accepts_everything() {
+        let mut f = MadFilter::new(32, 5.0);
+        assert!(!f.is_warm());
+        for i in 0..MadFilter::MIN_TRACK {
+            assert!(f.accept(1000.0 + i as f64));
+        }
+        assert!(f.is_warm());
+        assert_eq!(f.len(), MadFilter::MIN_TRACK);
+    }
+
+    #[test]
+    fn rejects_gross_outliers_keeps_jitter() {
+        let mut f = MadFilter::new(48, 8.0);
+        for i in 0..48 {
+            // ±0.4 % jitter around 30 000.
+            let x = 30_000.0 * (1.0 + 0.004 * ((i % 7) as f64 - 3.0) / 3.0);
+            assert!(f.accept(x), "clean sample {i} must pass");
+        }
+        assert!(!f.accept(45_000.0), "+50 % corruption must be rejected");
+        assert!(!f.accept(15_000.0), "−50 % corruption must be rejected");
+        assert!(f.accept(30_050.0), "jitter still passes after rejections");
+    }
+
+    #[test]
+    fn rejected_samples_do_not_contaminate() {
+        let mut f = MadFilter::new(32, 6.0);
+        for _ in 0..32 {
+            assert!(f.accept(100.0));
+        }
+        for _ in 0..100 {
+            assert!(!f.accept(200.0), "repeated outliers must stay rejected");
+        }
+        assert!(f.accept(100.01));
+    }
+
+    #[test]
+    fn constant_window_tolerates_small_jitter() {
+        let mut f = MadFilter::new(32, 8.0);
+        for _ in 0..32 {
+            assert!(f.accept(500.0));
+        }
+        // MAD is zero; the relative floor keeps percent-level jitter alive.
+        assert!(f.accept(500.2));
+        assert!(!f.accept(700.0));
+    }
+
+    #[test]
+    fn just_warm_filter_does_not_reject_ordinary_spread() {
+        // Regression: a 12-sample MAD of clustered values once rejected a
+        // clean sample at the far edge of the same distribution. The
+        // partial-window widening must keep it.
+        let mut f = MadFilter::new(64, 8.0);
+        let warm = [
+            100.36, 100.29, 100.57, 100.41, 100.61, 100.49, 100.37, 100.18, 100.54, 99.33, 100.90,
+            100.42,
+        ];
+        for x in warm {
+            assert!(f.accept(x));
+        }
+        assert!(f.is_warm());
+        assert!(f.accept(99.15), "same-distribution sample must pass");
+        assert!(!f.accept(500.0), "gross corruption is still caught");
+    }
+
+    #[test]
+    fn non_finite_rejected_once_warm() {
+        let mut f = MadFilter::new(16, 8.0);
+        for _ in 0..16 {
+            f.accept(1.0);
+        }
+        assert!(!f.accept(f64::NAN));
+        assert!(!f.accept(f64::INFINITY));
+        assert_eq!(f.len(), 16);
+    }
+}

@@ -10,17 +10,21 @@
 //! * [`t_cdf`] / [`t_quantile`] — Student-t CDF and quantiles (no table lookups).
 //! * [`welch_test`] — Welch's unequal-variance two-sample t-test.
 //! * [`bootstrap_mean_ci`] — percentile bootstrap intervals for non-normal metrics.
+//! * [`MadFilter`] — rolling median-absolute-deviation outlier rejection,
+//!   screening corrupted telemetry before it reaches the accumulators.
 //! * [`autocorrelation`] / [`effective_sample_size`] — used to pick the
 //!   sample spacing that makes the independence assumption honest.
 
 mod autocorr;
 mod bootstrap;
+mod mad;
 mod student_t;
 mod summary;
 mod welch;
 
 pub use autocorr::{autocorrelation, effective_sample_size};
 pub use bootstrap::{bootstrap_mean_ci, BootstrapCi};
+pub use mad::MadFilter;
 pub use student_t::{t_cdf, t_quantile};
 pub use summary::{RunningStats, Summary};
 pub use welch::{welch_test, WelchResult};

@@ -75,7 +75,11 @@ pub fn welch_test(a: &Summary, b: &Summary) -> WelchResult {
         let p = if mean_diff == 0.0 { 1.0 } else { 0.0 };
         return WelchResult {
             mean_diff,
-            t_statistic: if mean_diff == 0.0 { 0.0 } else { f64::INFINITY.copysign(mean_diff) },
+            t_statistic: if mean_diff == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY.copysign(mean_diff)
+            },
             degrees_of_freedom: 0.0,
             p_value: p,
         };
@@ -149,8 +153,16 @@ mod tests {
         let r = welch_test(&sa, &sb);
         // Reference values computed independently (Welch statistic, W-S dof,
         // and two-sided p via the regularized incomplete beta).
-        assert!((r.t_statistic - (-3.25022)).abs() < 2e-4, "t = {}", r.t_statistic);
-        assert!((r.degrees_of_freedom - 27.1227).abs() < 2e-3, "df = {}", r.degrees_of_freedom);
+        assert!(
+            (r.t_statistic - (-3.25022)).abs() < 2e-4,
+            "t = {}",
+            r.t_statistic
+        );
+        assert!(
+            (r.degrees_of_freedom - 27.1227).abs() < 2e-3,
+            "df = {}",
+            r.degrees_of_freedom
+        );
         assert!((r.p_value - 0.0030738).abs() < 1e-5, "p = {}", r.p_value);
     }
 

@@ -235,7 +235,7 @@ mod tests {
             }
         }
         // Feed1 is FP-dominated; Web and Cache have zero FP.
-        assert!(FEED1.mix_pct[1] >= 40.0);
+        const { assert!(FEED1.mix_pct[1] >= 40.0) }
         assert_eq!(WEB.mix_pct[1], 0.0);
         assert_eq!(CACHE1.mix_pct[1], 0.0);
         // Throughput spans four orders of magnitude (Fig. 1 / Table 2).

@@ -57,8 +57,8 @@ impl LoadGenerator {
     /// Load fraction at time `t` seconds. Advances the internal noise
     /// process, so successive calls with increasing `t` are correlated.
     pub fn load_at(&mut self, t: f64) -> f64 {
-        let diurnal =
-            self.base * (1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t / self.period_s).sin());
+        let diurnal = self.base
+            * (1.0 + self.amplitude * (2.0 * std::f64::consts::PI * t / self.period_s).sin());
         // AR(1) step with innovation scaled for a stationary sd of noise_sd.
         let innovation_sd = self.noise_sd * (1.0 - Self::AR_PHI * Self::AR_PHI).sqrt();
         self.ar_state = Self::AR_PHI * self.ar_state + innovation_sd * self.gaussian();
@@ -175,7 +175,11 @@ mod tests {
         let demeaned: Vec<f64> = xs.iter().map(|x| x - mean).collect();
         let var: f64 = demeaned.iter().map(|x| x * x).sum();
         let cov: f64 = demeaned.windows(2).map(|w| w[0] * w[1]).sum();
-        assert!(cov / var > 0.5, "AR(1) noise must be persistent: {}", cov / var);
+        assert!(
+            cov / var > 0.5,
+            "AR(1) noise must be persistent: {}",
+            cov / var
+        );
     }
 
     #[test]

@@ -528,7 +528,10 @@ mod tests {
     fn name_roundtrip() {
         for s in Microservice::ALL {
             assert_eq!(Microservice::from_name(s.name()).unwrap(), s);
-            assert_eq!(Microservice::from_name(&s.name().to_uppercase()).unwrap(), s);
+            assert_eq!(
+                Microservice::from_name(&s.name().to_uppercase()).unwrap(),
+                s
+            );
         }
         assert!(Microservice::from_name("nope").is_err());
     }
@@ -568,10 +571,7 @@ mod tests {
     fn constraints_match_paper() {
         assert!(!Microservice::Cache1.constraints().tolerates_reboot);
         assert!(!Microservice::Ads1.constraints().uses_shp);
-        assert_eq!(
-            Microservice::Ads1.constraints().min_cores_for_qos,
-            Some(18)
-        );
+        assert_eq!(Microservice::Ads1.constraints().min_cores_for_qos, Some(18));
         assert!(Microservice::Web.constraints().uses_shp);
     }
 

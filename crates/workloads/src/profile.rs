@@ -11,8 +11,7 @@ use crate::error::WorkloadError;
 use softsku_archsim::platform::PlatformSpec;
 use softsku_archsim::reuse::ReuseDistanceDist;
 use softsku_archsim::stream::{
-    BranchProfile, ContextSwitchProfile, InstructionMix, PageProfile, PrefetchAffinity,
-    StreamSpec,
+    BranchProfile, ContextSwitchProfile, InstructionMix, PageProfile, PrefetchAffinity, StreamSpec,
 };
 
 /// Mid-range direct context-switch cost bounds in µs, from the prior work
@@ -285,12 +284,7 @@ mod tests {
 
     #[test]
     fn web_spec_builds_and_validates() {
-        let spec = build_stream_spec(
-            &calib::WEB,
-            &texture(),
-            &PlatformSpec::skylake18(),
-        )
-        .unwrap();
+        let spec = build_stream_spec(&calib::WEB, &texture(), &PlatformSpec::skylake18()).unwrap();
         assert_eq!(spec.name, "web");
         spec.validate().unwrap();
         // Survival anchors visible in the analytic miss ratios.
@@ -300,14 +294,13 @@ mod tests {
 
     #[test]
     fn cs_rate_inverts_fig4_midpoint() {
-        let spec = build_stream_spec(&calib::CACHE1, &texture(), &PlatformSpec::skylake20())
-            .unwrap();
+        let spec =
+            build_stream_spec(&calib::CACHE1, &texture(), &PlatformSpec::skylake20()).unwrap();
         // Cache1 midpoint: 13% of CPU time at 1.8 µs/switch, normalized by
         // the 60% peak utilization ≈ 120k switches/s.
         let r = spec.context_switch.rate_per_sec;
         assert!((100_000.0..145_000.0).contains(&r), "rate {r}");
-        let web = build_stream_spec(&calib::WEB, &texture(), &PlatformSpec::skylake18())
-            .unwrap();
+        let web = build_stream_spec(&calib::WEB, &texture(), &PlatformSpec::skylake18()).unwrap();
         assert!(web.context_switch.rate_per_sec < 30_000.0);
     }
 

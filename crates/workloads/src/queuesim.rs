@@ -103,7 +103,10 @@ pub fn simulate_queue(
 ) -> TailLatency {
     assert!(servers > 0, "need at least one server");
     assert!(jobs >= 100, "need at least 100 jobs, got {jobs}");
-    assert!(rho > 0.0 && rho < 1.0, "utilization must be in (0, 1), got {rho}");
+    assert!(
+        rho > 0.0 && rho < 1.0,
+        "utilization must be in (0, 1), got {rho}"
+    );
 
     let mut rng = SmallRng::seed_from_u64(seed);
     let arrival_rate = rho * servers as f64 / service.mean();
@@ -165,8 +168,12 @@ mod tests {
     #[test]
     fn percentiles_are_ordered_and_tails_grow_with_load() {
         let service = ServiceDist::Exponential { mean: 1.0 };
+        // ρ = 0.97 puts the high-load point deep in the regime where the
+        // conditional wait (rate c·μ·(1−ρ)) dominates the tail; at ρ = 0.95
+        // the true spread ratio sits almost exactly on the 2× threshold and
+        // the assertion flips on sampling noise.
         let low = simulate_queue(8, 0.5, service, 150_000, 3);
-        let high = simulate_queue(8, 0.95, service, 150_000, 3);
+        let high = simulate_queue(8, 0.97, service, 150_000, 3);
         for t in [&low, &high] {
             assert!(t.p50 <= t.p95 && t.p95 <= t.p99);
             assert!(t.mean >= 0.9, "sojourn includes service time: {}", t.mean);
@@ -205,11 +212,19 @@ mod tests {
         let heavy = simulate_queue(
             4,
             0.6,
-            ServiceDist::LogNormal { mean: 1.0, cv2: 6.0 },
+            ServiceDist::LogNormal {
+                mean: 1.0,
+                cv2: 6.0,
+            },
             100_000,
             9,
         );
-        assert!(heavy.p99 > exp.p99, "heavy {:.2} vs exp {:.2}", heavy.p99, exp.p99);
+        assert!(
+            heavy.p99 > exp.p99,
+            "heavy {:.2} vs exp {:.2}",
+            heavy.p99,
+            exp.p99
+        );
         // Means stay comparable (same E[S], same rho).
         assert!((heavy.mean / exp.mean - 1.0).abs() < 0.35);
     }
@@ -217,7 +232,10 @@ mod tests {
     #[test]
     fn lognormal_mean_is_calibrated() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let d = ServiceDist::LogNormal { mean: 2.5, cv2: 1.5 };
+        let d = ServiceDist::LogNormal {
+            mean: 2.5,
+            cv2: 1.5,
+        };
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
         assert!((mean - 2.5).abs() < 0.05, "mean {mean}");

@@ -1,11 +1,11 @@
 //! Property-based tests on workload-model construction and load generation.
 
 use proptest::prelude::*;
+use softsku_archsim::platform::PlatformSpec;
+use softsku_archsim::stream::{PageProfile, PrefetchAffinity};
 use softsku_workloads::calib::{ServiceTargets, WEB};
 use softsku_workloads::loadgen::{CodeEvolution, LoadGenerator};
 use softsku_workloads::profile::{build_stream_spec, ServiceTexture};
-use softsku_archsim::platform::PlatformSpec;
-use softsku_archsim::stream::{PageProfile, PrefetchAffinity};
 
 fn texture() -> ServiceTexture {
     ServiceTexture {

@@ -15,12 +15,27 @@ use softsku::workloads::Microservice;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{:<8} {:>5} {:>22} {:>7} {:>7} {:>7} {:>7} {:>6} {:>6} {:>9} {:>8} {:>6}",
-        "service", "IPC", "TMAM r/f/b/b (%)", "L1i", "LLCc", "LLCd", "ITLB", "DTLB", "util%", "bw(GB/s)", "lat(ns)", "cs%"
+        "service",
+        "IPC",
+        "TMAM r/f/b/b (%)",
+        "L1i",
+        "LLCc",
+        "LLCd",
+        "ITLB",
+        "DTLB",
+        "util%",
+        "bw(GB/s)",
+        "lat(ns)",
+        "cs%"
     );
     for service in Microservice::ALL {
         let platform = service.default_platform();
         let profile = service.profile(platform)?;
-        let engine = Engine::new(profile.production_config.clone(), profile.stream.clone(), 42)?;
+        let engine = Engine::new(
+            profile.production_config.clone(),
+            profile.stream.clone(),
+            42,
+        )?;
         let report = engine.run_window(400_000, profile.peak_utilization)?;
         let c = &report.counters;
         let t = report.tmam.as_percentages();

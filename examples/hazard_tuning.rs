@@ -1,0 +1,88 @@
+//! Tuning through production hazards: Ads1 under crashes and load spikes.
+//!
+//! ```text
+//! cargo run --release --example hazard_tuning
+//! ```
+//!
+//! Production fleets are not lab benches: machines crash mid-experiment,
+//! telemetry daemons drop samples, diurnal load is punctuated by spikes, and
+//! fleet tooling flakes while applying knobs. This example runs the same
+//! Ads1 sweep as `tune_ads1`, but against an environment that injects a
+//! deterministic, seeded schedule of those hazards — and shows the
+//! self-healing A/B tester absorbing them: every injected disruption is
+//! paired with the recovery actions (waits, re-warmups, retries, outlier
+//! rejections) the tester took to survive it.
+
+use softsku::cluster::HazardConfig;
+use softsku::usku::{InputFile, Usku, UskuConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let input = InputFile::parse(
+        "microservice = ads1\nplatform = skylake18\nsweep = independent\nseed = 9\n",
+    )?;
+
+    let mut config = UskuConfig::fast_test();
+    // Crash-heavy, spike-heavy weather on top of the moderate preset.
+    config.env.hazards = HazardConfig {
+        crash_rate_per_hour: 0.5,
+        crash_outage_s: 600.0,
+        spike_rate_per_hour: 1.0,
+        spike_duration_s: 600.0,
+        spike_magnitude: 0.3,
+        ..HazardConfig::moderate()
+    };
+
+    let report = Usku::with_config(input, config).run()?;
+    println!("{}", report.render());
+
+    // Injected hazards vs the recovery actions that absorbed them.
+    let count = |name: &str| {
+        report
+            .hazard_counts
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |&(_, n)| n)
+    };
+    println!("hazard ledger (injected -> recovered):");
+    println!(
+        "  arm crashes      {:>6}   waits + re-warmups {:>6}",
+        count("hazards/injected.arm_down"),
+        count("recovery/arm_down"),
+    );
+    println!(
+        "  dropouts         {:>6}   resampled          {:>6}",
+        count("hazards/injected.dropout"),
+        count("recovery/dropout"),
+    );
+    println!(
+        "  corrupted        {:>6}   MAD-rejected       {:>6}",
+        count("hazards/injected.outlier"),
+        count("recovery/outlier_rejected"),
+    );
+    println!(
+        "  knob failures    {:>6}   retried OK         {:>6}",
+        count("hazards/injected.knob_failure"),
+        count("recovery/knob_retry_ok"),
+    );
+    println!("  load spikes      {:>6}", count("hazards/injected.spike"));
+
+    let injected: u64 = report
+        .hazard_counts
+        .iter()
+        .filter(|(k, _)| k.starts_with("hazards/"))
+        .map(|&(_, n)| n)
+        .sum();
+    let recovered: u64 = report
+        .hazard_counts
+        .iter()
+        .filter(|(k, _)| k.starts_with("recovery/"))
+        .map(|&(_, n)| n)
+        .sum();
+    println!("  total: {injected} injected, {recovered} recovery actions");
+    println!(
+        "  verdicts: {} tests, {} inconclusive under hazards",
+        report.map.test_count(),
+        report.map.inconclusive()
+    );
+    Ok(())
+}

@@ -22,8 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let production = profile.production_config.clone();
 
         let run = |cfg: &softsku::archsim::engine::ServerConfig| {
-            let engine = Engine::new(cfg.clone(), profile.stream.clone(), 42)
-                .expect("valid configuration");
+            let engine =
+                Engine::new(cfg.clone(), profile.stream.clone(), 42).expect("valid configuration");
             engine
                 .run_window(300_000, profile.peak_utilization)
                 .expect("window simulates")
@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "\nWeb on {platform}: production (CDP off) = {:.0} MIPS, mem util {:.0}%{}",
             base.mips_total,
             base.mem_utilization * 100.0,
-            if base.bandwidth_bound { "  [bandwidth-bound]" } else { "" }
+            if base.bandwidth_bound {
+                "  [bandwidth-bound]"
+            } else {
+                ""
+            }
         );
         println!(
             "{:>10} {:>9} {:>9} {:>9} {:>9}",

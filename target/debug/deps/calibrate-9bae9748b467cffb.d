@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-9bae9748b467cffb.d: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-9bae9748b467cffb.rmeta: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+crates/bench/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-f6de87ca59c783eb.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-f6de87ca59c783eb: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-0db867aad5cec835.d: tests/characterization.rs
+
+/root/repo/target/debug/deps/characterization-0db867aad5cec835: tests/characterization.rs
+
+tests/characterization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterization-66b0a845d3b66d6e.d: tests/characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterization-66b0a845d3b66d6e.rmeta: tests/characterization.rs Cargo.toml
+
+tests/characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

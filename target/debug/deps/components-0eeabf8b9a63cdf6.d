@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/components-0eeabf8b9a63cdf6.d: crates/bench/benches/components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcomponents-0eeabf8b9a63cdf6.rmeta: crates/bench/benches/components.rs Cargo.toml
+
+crates/bench/benches/components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/harness-5885658dafbdf97b.d: crates/bench/benches/harness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libharness-5885658dafbdf97b.rmeta: crates/bench/benches/harness.rs Cargo.toml
+
+crates/bench/benches/harness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hazard_robustness-5dbdfa7da4d606a4.d: tests/hazard_robustness.rs
+
+/root/repo/target/debug/deps/hazard_robustness-5dbdfa7da4d606a4: tests/hazard_robustness.rs
+
+tests/hazard_robustness.rs:

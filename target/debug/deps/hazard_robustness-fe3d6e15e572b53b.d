@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hazard_robustness-fe3d6e15e572b53b.d: tests/hazard_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhazard_robustness-fe3d6e15e572b53b.rmeta: tests/hazard_robustness.rs Cargo.toml
+
+tests/hazard_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

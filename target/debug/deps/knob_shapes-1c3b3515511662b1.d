@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/knob_shapes-1c3b3515511662b1.d: tests/knob_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknob_shapes-1c3b3515511662b1.rmeta: tests/knob_shapes.rs Cargo.toml
+
+tests/knob_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/knob_shapes-685f88277f29c677.d: tests/knob_shapes.rs
+
+/root/repo/target/debug/deps/knob_shapes-685f88277f29c677: tests/knob_shapes.rs
+
+tests/knob_shapes.rs:

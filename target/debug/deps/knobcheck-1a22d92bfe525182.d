@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/knobcheck-1a22d92bfe525182.d: crates/bench/src/bin/knobcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknobcheck-1a22d92bfe525182.rmeta: crates/bench/src/bin/knobcheck.rs Cargo.toml
+
+crates/bench/src/bin/knobcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/knobcheck-503cea724f727df6.d: crates/bench/src/bin/knobcheck.rs
+
+/root/repo/target/debug/deps/knobcheck-503cea724f727df6: crates/bench/src/bin/knobcheck.rs
+
+crates/bench/src/bin/knobcheck.rs:

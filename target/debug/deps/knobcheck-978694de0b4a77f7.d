@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/knobcheck-978694de0b4a77f7.d: crates/bench/src/bin/knobcheck.rs Cargo.toml
+
+/root/repo/target/debug/deps/libknobcheck-978694de0b4a77f7.rmeta: crates/bench/src/bin/knobcheck.rs Cargo.toml
+
+crates/bench/src/bin/knobcheck.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-29239c0f3956578a.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-29239c0f3956578a: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

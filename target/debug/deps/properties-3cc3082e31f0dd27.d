@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3cc3082e31f0dd27.d: crates/archsim/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3cc3082e31f0dd27.rmeta: crates/archsim/tests/properties.rs Cargo.toml
+
+crates/archsim/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-54510c8b88ae2f67.d: crates/telemetry/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-54510c8b88ae2f67.rmeta: crates/telemetry/tests/properties.rs Cargo.toml
+
+crates/telemetry/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6618517e18867881.d: crates/telemetry/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-6618517e18867881: crates/telemetry/tests/properties.rs
+
+crates/telemetry/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7a973aef546893d9.d: crates/core/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7a973aef546893d9.rmeta: crates/core/tests/properties.rs Cargo.toml
+
+crates/core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c13d35ae7c8220f7.d: crates/archsim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c13d35ae7c8220f7: crates/archsim/tests/properties.rs
+
+crates/archsim/tests/properties.rs:

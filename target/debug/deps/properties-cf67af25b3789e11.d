@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cf67af25b3789e11.d: crates/workloads/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cf67af25b3789e11: crates/workloads/tests/properties.rs
+
+crates/workloads/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d581fab5a8237ba1.d: crates/knobs/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d581fab5a8237ba1.rmeta: crates/knobs/tests/properties.rs Cargo.toml
+
+crates/knobs/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

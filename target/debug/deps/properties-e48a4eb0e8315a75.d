@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e48a4eb0e8315a75.d: crates/knobs/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e48a4eb0e8315a75: crates/knobs/tests/properties.rs
+
+crates/knobs/tests/properties.rs:

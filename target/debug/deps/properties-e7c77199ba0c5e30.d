@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e7c77199ba0c5e30.d: crates/workloads/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e7c77199ba0c5e30.rmeta: crates/workloads/tests/properties.rs Cargo.toml
+
+crates/workloads/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

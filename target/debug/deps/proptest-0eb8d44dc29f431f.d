@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/proptest-0eb8d44dc29f431f.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+/root/repo/target/debug/deps/libproptest-0eb8d44dc29f431f.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+/root/repo/target/debug/deps/libproptest-0eb8d44dc29f431f.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/option.rs:
+vendor/proptest/src/prelude.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-4a38c6fa2be85d8d.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+/root/repo/target/debug/deps/libproptest-4a38c6fa2be85d8d.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/option.rs:
+vendor/proptest/src/prelude.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:

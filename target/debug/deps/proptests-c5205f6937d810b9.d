@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c5205f6937d810b9.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c5205f6937d810b9: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e571baa4a18d441a.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e571baa4a18d441a.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

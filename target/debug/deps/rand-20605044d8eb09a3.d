@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-20605044d8eb09a3.d: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+/root/repo/target/debug/deps/librand-20605044d8eb09a3.rmeta: vendor/rand/src/lib.rs vendor/rand/src/distributions.rs vendor/rand/src/rngs.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/distributions.rs:
+vendor/rand/src/rngs.rs:

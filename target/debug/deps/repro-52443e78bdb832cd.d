@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-52443e78bdb832cd.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-52443e78bdb832cd: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/softsku-4a85cde1b34d03f8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsku-4a85cde1b34d03f8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsoftsku-4a85cde1b34d03f8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsku-a49885930b00e20e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsku-a49885930b00e20e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

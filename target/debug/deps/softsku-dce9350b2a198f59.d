@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/softsku-dce9350b2a198f59.d: src/lib.rs
+
+/root/repo/target/debug/deps/softsku-dce9350b2a198f59: src/lib.rs
+
+src/lib.rs:

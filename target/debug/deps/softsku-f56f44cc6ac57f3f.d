@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsku-f56f44cc6ac57f3f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsku-f56f44cc6ac57f3f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

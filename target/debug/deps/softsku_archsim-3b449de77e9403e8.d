@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/softsku_archsim-3b449de77e9403e8.d: crates/archsim/src/lib.rs crates/archsim/src/branch.rs crates/archsim/src/cache.rs crates/archsim/src/counters.rs crates/archsim/src/engine.rs crates/archsim/src/error.rs crates/archsim/src/memory.rs crates/archsim/src/pagemap.rs crates/archsim/src/platform.rs crates/archsim/src/prefetch.rs crates/archsim/src/ranklist.rs crates/archsim/src/reuse.rs crates/archsim/src/stream.rs crates/archsim/src/tlb.rs crates/archsim/src/tmam.rs crates/archsim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsku_archsim-3b449de77e9403e8.rmeta: crates/archsim/src/lib.rs crates/archsim/src/branch.rs crates/archsim/src/cache.rs crates/archsim/src/counters.rs crates/archsim/src/engine.rs crates/archsim/src/error.rs crates/archsim/src/memory.rs crates/archsim/src/pagemap.rs crates/archsim/src/platform.rs crates/archsim/src/prefetch.rs crates/archsim/src/ranklist.rs crates/archsim/src/reuse.rs crates/archsim/src/stream.rs crates/archsim/src/tlb.rs crates/archsim/src/tmam.rs crates/archsim/src/trace.rs Cargo.toml
+
+crates/archsim/src/lib.rs:
+crates/archsim/src/branch.rs:
+crates/archsim/src/cache.rs:
+crates/archsim/src/counters.rs:
+crates/archsim/src/engine.rs:
+crates/archsim/src/error.rs:
+crates/archsim/src/memory.rs:
+crates/archsim/src/pagemap.rs:
+crates/archsim/src/platform.rs:
+crates/archsim/src/prefetch.rs:
+crates/archsim/src/ranklist.rs:
+crates/archsim/src/reuse.rs:
+crates/archsim/src/stream.rs:
+crates/archsim/src/tlb.rs:
+crates/archsim/src/tmam.rs:
+crates/archsim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/softsku_bench-31de7ce56dc801fd.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsku_bench-31de7ce56dc801fd.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/characterization.rs:
+crates/bench/src/common.rs:
+crates/bench/src/knobsweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/softsku_bench-98f14ca320929b83.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs
+
+/root/repo/target/debug/deps/libsoftsku_bench-98f14ca320929b83.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs
+
+/root/repo/target/debug/deps/libsoftsku_bench-98f14ca320929b83.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/characterization.rs:
+crates/bench/src/common.rs:
+crates/bench/src/knobsweeps.rs:

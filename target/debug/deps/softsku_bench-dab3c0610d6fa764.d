@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softsku_bench-dab3c0610d6fa764.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs
+
+/root/repo/target/debug/deps/softsku_bench-dab3c0610d6fa764: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/characterization.rs:
+crates/bench/src/common.rs:
+crates/bench/src/knobsweeps.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/softsku_cluster-691a650622e87bee.d: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsku_cluster-691a650622e87bee.rmeta: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/colocation.rs:
+crates/cluster/src/env.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/fleet.rs:
+crates/cluster/src/hazards.rs:
+crates/cluster/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

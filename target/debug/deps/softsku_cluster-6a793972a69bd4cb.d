@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/softsku_cluster-6a793972a69bd4cb.d: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsku_cluster-6a793972a69bd4cb.rmeta: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/colocation.rs:
+crates/cluster/src/env.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/fleet.rs:
+crates/cluster/src/hazards.rs:
+crates/cluster/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/softsku_cluster-a551e0403a755dfe.d: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs
+
+/root/repo/target/debug/deps/libsoftsku_cluster-a551e0403a755dfe.rlib: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs
+
+/root/repo/target/debug/deps/libsoftsku_cluster-a551e0403a755dfe.rmeta: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/colocation.rs:
+crates/cluster/src/env.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/fleet.rs:
+crates/cluster/src/hazards.rs:
+crates/cluster/src/server.rs:

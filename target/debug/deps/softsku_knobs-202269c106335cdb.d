@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/softsku_knobs-202269c106335cdb.d: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs
+
+/root/repo/target/debug/deps/softsku_knobs-202269c106335cdb: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs
+
+crates/knobs/src/lib.rs:
+crates/knobs/src/error.rs:
+crates/knobs/src/knob.rs:
+crates/knobs/src/space.rs:

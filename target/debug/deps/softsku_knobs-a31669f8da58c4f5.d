@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/softsku_knobs-a31669f8da58c4f5.d: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsku_knobs-a31669f8da58c4f5.rmeta: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs Cargo.toml
+
+crates/knobs/src/lib.rs:
+crates/knobs/src/error.rs:
+crates/knobs/src/knob.rs:
+crates/knobs/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

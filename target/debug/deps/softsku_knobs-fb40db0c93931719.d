@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/softsku_knobs-fb40db0c93931719.d: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs
+
+/root/repo/target/debug/deps/libsoftsku_knobs-fb40db0c93931719.rlib: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs
+
+/root/repo/target/debug/deps/libsoftsku_knobs-fb40db0c93931719.rmeta: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs
+
+crates/knobs/src/lib.rs:
+crates/knobs/src/error.rs:
+crates/knobs/src/knob.rs:
+crates/knobs/src/space.rs:

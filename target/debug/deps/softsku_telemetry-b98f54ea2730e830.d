@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/softsku_telemetry-b98f54ea2730e830.d: crates/telemetry/src/lib.rs crates/telemetry/src/emon.rs crates/telemetry/src/error.rs crates/telemetry/src/ods.rs crates/telemetry/src/stats/mod.rs crates/telemetry/src/stats/autocorr.rs crates/telemetry/src/stats/bootstrap.rs crates/telemetry/src/stats/mad.rs crates/telemetry/src/stats/student_t.rs crates/telemetry/src/stats/summary.rs crates/telemetry/src/stats/welch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsku_telemetry-b98f54ea2730e830.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/emon.rs crates/telemetry/src/error.rs crates/telemetry/src/ods.rs crates/telemetry/src/stats/mod.rs crates/telemetry/src/stats/autocorr.rs crates/telemetry/src/stats/bootstrap.rs crates/telemetry/src/stats/mad.rs crates/telemetry/src/stats/student_t.rs crates/telemetry/src/stats/summary.rs crates/telemetry/src/stats/welch.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/emon.rs:
+crates/telemetry/src/error.rs:
+crates/telemetry/src/ods.rs:
+crates/telemetry/src/stats/mod.rs:
+crates/telemetry/src/stats/autocorr.rs:
+crates/telemetry/src/stats/bootstrap.rs:
+crates/telemetry/src/stats/mad.rs:
+crates/telemetry/src/stats/student_t.rs:
+crates/telemetry/src/stats/summary.rs:
+crates/telemetry/src/stats/welch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/softsku_workloads-6507e51176d396a7.d: crates/workloads/src/lib.rs crates/workloads/src/calib.rs crates/workloads/src/comparisons.rs crates/workloads/src/error.rs crates/workloads/src/loadgen.rs crates/workloads/src/microservices.rs crates/workloads/src/profile.rs crates/workloads/src/queuesim.rs crates/workloads/src/request.rs crates/workloads/src/spec2006.rs
+
+/root/repo/target/debug/deps/libsoftsku_workloads-6507e51176d396a7.rlib: crates/workloads/src/lib.rs crates/workloads/src/calib.rs crates/workloads/src/comparisons.rs crates/workloads/src/error.rs crates/workloads/src/loadgen.rs crates/workloads/src/microservices.rs crates/workloads/src/profile.rs crates/workloads/src/queuesim.rs crates/workloads/src/request.rs crates/workloads/src/spec2006.rs
+
+/root/repo/target/debug/deps/libsoftsku_workloads-6507e51176d396a7.rmeta: crates/workloads/src/lib.rs crates/workloads/src/calib.rs crates/workloads/src/comparisons.rs crates/workloads/src/error.rs crates/workloads/src/loadgen.rs crates/workloads/src/microservices.rs crates/workloads/src/profile.rs crates/workloads/src/queuesim.rs crates/workloads/src/request.rs crates/workloads/src/spec2006.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/calib.rs:
+crates/workloads/src/comparisons.rs:
+crates/workloads/src/error.rs:
+crates/workloads/src/loadgen.rs:
+crates/workloads/src/microservices.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/queuesim.rs:
+crates/workloads/src/request.rs:
+crates/workloads/src/spec2006.rs:

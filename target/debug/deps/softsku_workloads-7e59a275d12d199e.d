@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/softsku_workloads-7e59a275d12d199e.d: crates/workloads/src/lib.rs crates/workloads/src/calib.rs crates/workloads/src/comparisons.rs crates/workloads/src/error.rs crates/workloads/src/loadgen.rs crates/workloads/src/microservices.rs crates/workloads/src/profile.rs crates/workloads/src/queuesim.rs crates/workloads/src/request.rs crates/workloads/src/spec2006.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftsku_workloads-7e59a275d12d199e.rmeta: crates/workloads/src/lib.rs crates/workloads/src/calib.rs crates/workloads/src/comparisons.rs crates/workloads/src/error.rs crates/workloads/src/loadgen.rs crates/workloads/src/microservices.rs crates/workloads/src/profile.rs crates/workloads/src/queuesim.rs crates/workloads/src/request.rs crates/workloads/src/spec2006.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/calib.rs:
+crates/workloads/src/comparisons.rs:
+crates/workloads/src/error.rs:
+crates/workloads/src/loadgen.rs:
+crates/workloads/src/microservices.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/queuesim.rs:
+crates/workloads/src/request.rs:
+crates/workloads/src/spec2006.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/usku-0c691a6db550a455.d: crates/core/src/bin/usku.rs
+
+/root/repo/target/debug/deps/usku-0c691a6db550a455: crates/core/src/bin/usku.rs
+
+crates/core/src/bin/usku.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/usku-67c0296feabecec5.d: crates/core/src/bin/usku.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusku-67c0296feabecec5.rmeta: crates/core/src/bin/usku.rs Cargo.toml
+
+crates/core/src/bin/usku.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

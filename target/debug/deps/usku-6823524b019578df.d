@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/usku-6823524b019578df.d: crates/core/src/lib.rs crates/core/src/abtest.rs crates/core/src/error.rs crates/core/src/generator.rs crates/core/src/input.rs crates/core/src/map.rs crates/core/src/metric.rs crates/core/src/objective.rs crates/core/src/search.rs crates/core/src/usku.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusku-6823524b019578df.rmeta: crates/core/src/lib.rs crates/core/src/abtest.rs crates/core/src/error.rs crates/core/src/generator.rs crates/core/src/input.rs crates/core/src/map.rs crates/core/src/metric.rs crates/core/src/objective.rs crates/core/src/search.rs crates/core/src/usku.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/abtest.rs:
+crates/core/src/error.rs:
+crates/core/src/generator.rs:
+crates/core/src/input.rs:
+crates/core/src/map.rs:
+crates/core/src/metric.rs:
+crates/core/src/objective.rs:
+crates/core/src/search.rs:
+crates/core/src/usku.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/usku-793d9386f31d23a2.d: crates/core/src/lib.rs crates/core/src/abtest.rs crates/core/src/error.rs crates/core/src/generator.rs crates/core/src/input.rs crates/core/src/map.rs crates/core/src/metric.rs crates/core/src/objective.rs crates/core/src/search.rs crates/core/src/usku.rs
+
+/root/repo/target/debug/deps/libusku-793d9386f31d23a2.rlib: crates/core/src/lib.rs crates/core/src/abtest.rs crates/core/src/error.rs crates/core/src/generator.rs crates/core/src/input.rs crates/core/src/map.rs crates/core/src/metric.rs crates/core/src/objective.rs crates/core/src/search.rs crates/core/src/usku.rs
+
+/root/repo/target/debug/deps/libusku-793d9386f31d23a2.rmeta: crates/core/src/lib.rs crates/core/src/abtest.rs crates/core/src/error.rs crates/core/src/generator.rs crates/core/src/input.rs crates/core/src/map.rs crates/core/src/metric.rs crates/core/src/objective.rs crates/core/src/search.rs crates/core/src/usku.rs
+
+crates/core/src/lib.rs:
+crates/core/src/abtest.rs:
+crates/core/src/error.rs:
+crates/core/src/generator.rs:
+crates/core/src/input.rs:
+crates/core/src/map.rs:
+crates/core/src/metric.rs:
+crates/core/src/objective.rs:
+crates/core/src/search.rs:
+crates/core/src/usku.rs:

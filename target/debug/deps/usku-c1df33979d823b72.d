@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/usku-c1df33979d823b72.d: crates/core/src/bin/usku.rs
+
+/root/repo/target/debug/deps/usku-c1df33979d823b72: crates/core/src/bin/usku.rs
+
+crates/core/src/bin/usku.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/usku-ca6c5d3808f44a3a.d: crates/core/src/bin/usku.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusku-ca6c5d3808f44a3a.rmeta: crates/core/src/bin/usku.rs Cargo.toml
+
+crates/core/src/bin/usku.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

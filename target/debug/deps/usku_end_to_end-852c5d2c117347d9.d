@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/usku_end_to_end-852c5d2c117347d9.d: tests/usku_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libusku_end_to_end-852c5d2c117347d9.rmeta: tests/usku_end_to_end.rs Cargo.toml
+
+tests/usku_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/usku_end_to_end-dcf073c436d102f7.d: tests/usku_end_to_end.rs
+
+/root/repo/target/debug/deps/usku_end_to_end-dcf073c436d102f7: tests/usku_end_to_end.rs
+
+tests/usku_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/characterize_fleet-04570e016fbb6a05.d: examples/characterize_fleet.rs
+
+/root/repo/target/debug/examples/characterize_fleet-04570e016fbb6a05: examples/characterize_fleet.rs
+
+examples/characterize_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/characterize_fleet-7e1bebbf5b04e9ed.d: examples/characterize_fleet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcharacterize_fleet-7e1bebbf5b04e9ed.rmeta: examples/characterize_fleet.rs Cargo.toml
+
+examples/characterize_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/colocation-74d05d8b442e157a.d: examples/colocation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcolocation-74d05d8b442e157a.rmeta: examples/colocation.rs Cargo.toml
+
+examples/colocation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/colocation-f1ce052d57cba08a.d: examples/colocation.rs
+
+/root/repo/target/debug/examples/colocation-f1ce052d57cba08a: examples/colocation.rs
+
+examples/colocation.rs:

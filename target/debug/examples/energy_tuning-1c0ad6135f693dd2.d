@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/energy_tuning-1c0ad6135f693dd2.d: examples/energy_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libenergy_tuning-1c0ad6135f693dd2.rmeta: examples/energy_tuning.rs Cargo.toml
+
+examples/energy_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

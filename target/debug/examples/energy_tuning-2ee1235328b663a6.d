@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/energy_tuning-2ee1235328b663a6.d: examples/energy_tuning.rs
+
+/root/repo/target/debug/examples/energy_tuning-2ee1235328b663a6: examples/energy_tuning.rs
+
+examples/energy_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hazard_tuning-3c207f79c1440ab9.d: examples/hazard_tuning.rs
+
+/root/repo/target/debug/examples/hazard_tuning-3c207f79c1440ab9: examples/hazard_tuning.rs
+
+examples/hazard_tuning.rs:

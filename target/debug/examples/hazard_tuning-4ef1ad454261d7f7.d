@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hazard_tuning-4ef1ad454261d7f7.d: examples/hazard_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhazard_tuning-4ef1ad454261d7f7.rmeta: examples/hazard_tuning.rs Cargo.toml
+
+examples/hazard_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5be9dd0e9c3408ec.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5be9dd0e9c3408ec: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tune_ads1-ad681e47bb349596.d: examples/tune_ads1.rs
+
+/root/repo/target/debug/examples/tune_ads1-ad681e47bb349596: examples/tune_ads1.rs
+
+examples/tune_ads1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tune_ads1-dee3e9579fa22d69.d: examples/tune_ads1.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtune_ads1-dee3e9579fa22d69.rmeta: examples/tune_ads1.rs Cargo.toml
+
+examples/tune_ads1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/whatif_cdp-617ba0b2bf5cf03d.d: examples/whatif_cdp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwhatif_cdp-617ba0b2bf5cf03d.rmeta: examples/whatif_cdp.rs Cargo.toml
+
+examples/whatif_cdp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

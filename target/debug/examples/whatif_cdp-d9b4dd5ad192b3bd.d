@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_cdp-d9b4dd5ad192b3bd.d: examples/whatif_cdp.rs
+
+/root/repo/target/debug/examples/whatif_cdp-d9b4dd5ad192b3bd: examples/whatif_cdp.rs
+
+examples/whatif_cdp.rs:

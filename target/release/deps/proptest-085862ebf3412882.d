@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/proptest-085862ebf3412882.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+/root/repo/target/release/deps/libproptest-085862ebf3412882.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+/root/repo/target/release/deps/libproptest-085862ebf3412882.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/prelude.rs vendor/proptest/src/strategy.rs vendor/proptest/src/string.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/option.rs:
+vendor/proptest/src/prelude.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/string.rs:

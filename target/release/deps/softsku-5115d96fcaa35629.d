@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsku-5115d96fcaa35629.d: src/lib.rs
+
+/root/repo/target/release/deps/libsoftsku-5115d96fcaa35629.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsoftsku-5115d96fcaa35629.rmeta: src/lib.rs
+
+src/lib.rs:

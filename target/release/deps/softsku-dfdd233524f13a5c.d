@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/softsku-dfdd233524f13a5c.d: src/lib.rs
+
+/root/repo/target/release/deps/libsoftsku-dfdd233524f13a5c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsoftsku-dfdd233524f13a5c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/softsku_cluster-ca42f1a1cfc6ae2b.d: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs
+
+/root/repo/target/release/deps/libsoftsku_cluster-ca42f1a1cfc6ae2b.rlib: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs
+
+/root/repo/target/release/deps/libsoftsku_cluster-ca42f1a1cfc6ae2b.rmeta: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/colocation.rs:
+crates/cluster/src/env.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/fleet.rs:
+crates/cluster/src/hazards.rs:
+crates/cluster/src/server.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/softsku_knobs-207495339204605f.d: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs
+
+/root/repo/target/release/deps/libsoftsku_knobs-207495339204605f.rlib: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs
+
+/root/repo/target/release/deps/libsoftsku_knobs-207495339204605f.rmeta: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs
+
+crates/knobs/src/lib.rs:
+crates/knobs/src/error.rs:
+crates/knobs/src/knob.rs:
+crates/knobs/src/space.rs:

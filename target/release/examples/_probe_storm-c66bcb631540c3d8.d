@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe_storm-c66bcb631540c3d8.d: examples/_probe_storm.rs
+
+/root/repo/target/release/examples/_probe_storm-c66bcb631540c3d8: examples/_probe_storm.rs
+
+examples/_probe_storm.rs:

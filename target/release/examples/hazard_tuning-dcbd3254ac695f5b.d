@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hazard_tuning-dcbd3254ac695f5b.d: examples/hazard_tuning.rs
+
+/root/repo/target/release/examples/hazard_tuning-dcbd3254ac695f5b: examples/hazard_tuning.rs
+
+examples/hazard_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-65871e024ccb73e0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-65871e024ccb73e0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -72,11 +72,7 @@ fn web_is_the_llc_code_miss_outlier() {
     // services sit well below it.
     let web = peak(Microservice::Web).counters.llc_code_mpki();
     assert!(web > 1.0, "Web LLC code MPKI {web}");
-    for service in [
-        Microservice::Feed1,
-        Microservice::Feed2,
-        Microservice::Ads2,
-    ] {
+    for service in [Microservice::Feed1, Microservice::Feed2, Microservice::Ads2] {
         let other = peak(service).counters.llc_code_mpki();
         assert!(
             other < web * 0.5,
@@ -95,7 +91,10 @@ fn tlb_behaviour_matches_fig11() {
     let web = peak(Microservice::Web).counters.itlb_mpki();
     let cache1 = peak(Microservice::Cache1).counters.itlb_mpki();
     let feed1 = peak(Microservice::Feed1).counters.itlb_mpki();
-    assert!(web > cache1 && cache1 > feed1, "ITLB: web {web:.1}, cache1 {cache1:.1}, feed1 {feed1:.1}");
+    assert!(
+        web > cache1 && cache1 > feed1,
+        "ITLB: web {web:.1}, cache1 {cache1:.1}, feed1 {feed1:.1}"
+    );
     assert!(web > 10.0);
     assert!(feed1 < 1.0);
 }
@@ -178,14 +177,20 @@ fn bandwidth_operating_points_match_fig12() {
 fn fig1_diversity_ranges_hold() {
     // The figure's point: orders-of-magnitude diversity in system traits,
     // meaningful diversity in architectural ones.
-    let qps: Vec<f64> = Microservice::ALL.iter().map(|s| s.targets().table2.0).collect();
-    let ratio = qps.iter().cloned().fold(f64::MIN, f64::max)
-        / qps.iter().cloned().fold(f64::MAX, f64::min);
+    let qps: Vec<f64> = Microservice::ALL
+        .iter()
+        .map(|s| s.targets().table2.0)
+        .collect();
+    let ratio =
+        qps.iter().cloned().fold(f64::MIN, f64::max) / qps.iter().cloned().fold(f64::MAX, f64::min);
     assert!(ratio >= 1e4, "QPS diversity {ratio:.0}x");
 
-    let ipc: Vec<f64> = Microservice::ALL.iter().map(|s| peak(*s).ipc_core).collect();
-    let ipc_ratio = ipc.iter().cloned().fold(f64::MIN, f64::max)
-        / ipc.iter().cloned().fold(f64::MAX, f64::min);
+    let ipc: Vec<f64> = Microservice::ALL
+        .iter()
+        .map(|s| peak(*s).ipc_core)
+        .collect();
+    let ipc_ratio =
+        ipc.iter().cloned().fold(f64::MIN, f64::max) / ipc.iter().cloned().fold(f64::MAX, f64::min);
     assert!(
         (2.0..6.0).contains(&ipc_ratio),
         "IPC diversity {ipc_ratio:.1}x"

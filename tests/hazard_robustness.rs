@@ -1,0 +1,137 @@
+//! Integration: the self-healing A/B pipeline survives injected production
+//! hazards without changing its conclusions. For each service, a hazard-laden
+//! sweep must select the same per-knob winners as the hazard-free sweep
+//! (tests near the significance threshold may degrade to inconclusive, never
+//! flip), must stay within the 2 × `max_samples` disruption budget per knob
+//! test, and must never panic.
+
+use softsku::cluster::HazardConfig;
+use softsku::usku::{InputFile, Usku, UskuConfig, UskuReport, Verdict};
+
+fn run(input_text: &str, hazards: HazardConfig) -> UskuReport {
+    let input = InputFile::parse(input_text).unwrap();
+    let mut cfg = UskuConfig::fast_test();
+    cfg.validate_days = 0.0;
+    cfg.env.hazards = hazards;
+    Usku::with_config(input, cfg).run().unwrap()
+}
+
+/// Hazard-free and hazard-laden sweeps of the same service must agree on
+/// every clear winner; budgets and bookkeeping must hold throughout.
+fn assert_hazards_do_not_change_winners(input_text: &str) {
+    let clean = run(input_text, HazardConfig::none());
+    let hazardous = run(input_text, HazardConfig::moderate());
+
+    let budget = UskuConfig::fast_test().abtest.max_samples * 2;
+    for knob in hazardous.map.knobs() {
+        for r in hazardous.map.results(knob) {
+            assert!(
+                r.attempts <= budget,
+                "{}: {} attempts exceed the 2x budget {budget}",
+                r.setting,
+                r.attempts
+            );
+        }
+    }
+
+    for knob in clean.map.knobs() {
+        // Only clear winners are binding; near-threshold effects may
+        // legitimately degrade to Inconclusive under disruption.
+        let Some((winner, gain)) = clean.map.best_setting(knob) else {
+            continue;
+        };
+        if gain < 0.015 {
+            continue;
+        }
+        match hazardous.map.best_setting(knob) {
+            Some((hazard_winner, _)) => {
+                // Settings whose clean gains are within noise of each other
+                // are interchangeable winners; what hazards must never do is
+                // promote a genuinely inferior setting.
+                let hazard_winner_clean_gain = clean
+                    .map
+                    .results(knob)
+                    .iter()
+                    .find(|r| r.setting == hazard_winner)
+                    .and_then(|r| r.verdict.gain())
+                    .unwrap_or(f64::NEG_INFINITY);
+                assert!(
+                    hazard_winner == winner || gain - hazard_winner_clean_gain <= 0.01,
+                    "hazards promoted an inferior {knob} setting\nclean:\n{}\nhazardous:\n{}",
+                    clean.map.render(),
+                    hazardous.map.render()
+                );
+            }
+            None => {
+                // Losing the winner entirely is only acceptable when its
+                // test was disrupted into an inconclusive verdict — never a
+                // flipped statistical claim.
+                let disrupted = hazardous
+                    .map
+                    .results(knob)
+                    .iter()
+                    .filter(|r| r.setting == winner)
+                    .all(|r| matches!(r.verdict, Verdict::Inconclusive { .. }));
+                assert!(
+                    disrupted,
+                    "hazards erased the {knob} winner without an inconclusive trail\n{}",
+                    hazardous.map.render()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn web_winners_survive_moderate_hazards() {
+    assert_hazards_do_not_change_winners(
+        "microservice = web\nplatform = skylake18\nknobs = thp, shp\nseed = 101\n",
+    );
+}
+
+#[test]
+fn ads1_winners_survive_moderate_hazards() {
+    assert_hazards_do_not_change_winners(
+        "microservice = ads1\nplatform = skylake18\nknobs = cdp, thp\nseed = 11\n",
+    );
+}
+
+#[test]
+fn hazardous_runs_record_the_ledger_and_stay_deterministic() {
+    let text = "microservice = web\nknobs = thp\nseed = 5\n";
+    let mut storm = HazardConfig::moderate();
+    storm.dropout_prob = 0.05;
+    storm.outlier_prob = 0.05;
+    let a = run(text, storm);
+    let b = run(text, storm);
+
+    // The environment records what it injected; the tester records what it
+    // healed. Both must be present under a hazard storm.
+    let injected: u64 = a
+        .hazard_counts
+        .iter()
+        .filter(|(k, _)| k.starts_with("hazards/"))
+        .map(|&(_, n)| n)
+        .sum();
+    let recovered: u64 = a
+        .hazard_counts
+        .iter()
+        .filter(|(k, _)| k.starts_with("recovery/"))
+        .map(|&(_, n)| n)
+        .sum();
+    assert!(
+        injected > 0,
+        "storm must inject hazards\n{:?}",
+        a.hazard_counts
+    );
+    assert!(
+        recovered > 0,
+        "tester must record recoveries\n{:?}",
+        a.hazard_counts
+    );
+    assert!(a.render().contains("hazards survived"));
+
+    // Identical (config, seed) pairs replay the identical hazardous run.
+    assert_eq!(a.hazard_counts, b.hazard_counts);
+    assert_eq!(a.render(), b.render());
+}

@@ -4,8 +4,8 @@
 //! statistics.
 
 use softsku::archsim::cache::CdpPartition;
-use softsku::archsim::engine::ServerConfig;
 use softsku::archsim::engine::Engine;
+use softsku::archsim::engine::ServerConfig;
 use softsku::archsim::pagemap::ThpMode;
 use softsku::archsim::prefetch::PrefetcherConfig;
 use softsku::workloads::{Microservice, PlatformKind};
@@ -34,7 +34,10 @@ fn fig14a_core_frequency_is_monotone_with_diminishing_returns() {
         cfg.core_freq_ghz = f;
         values.push(mips(Microservice::Web, PlatformKind::Skylake18, &cfg));
     }
-    assert!(values.windows(2).all(|w| w[1] > w[0]), "monotone: {values:?}");
+    assert!(
+        values.windows(2).all(|w| w[1] > w[0]),
+        "monotone: {values:?}"
+    );
     let total_gain = values[3] / values[0] - 1.0;
     assert!(
         (0.08..0.35).contains(&total_gain),
@@ -123,7 +126,8 @@ fn fig16_cdp_interior_optimum_on_skylake_absent_on_broadwell() {
     for p in CdpPartition::sweep(prod_b.llc_ways_enabled) {
         let mut cfg = prod_b.clone();
         cfg.cdp = Some(p);
-        best_b = best_b.max(mips(Microservice::Web, PlatformKind::Broadwell16, &cfg) / base_b - 1.0);
+        best_b =
+            best_b.max(mips(Microservice::Web, PlatformKind::Broadwell16, &cfg) / base_b - 1.0);
     }
     assert!(
         best_b < best_gain * 0.75,
@@ -200,13 +204,22 @@ fn fig18b_shp_sweet_spots_at_300_and_400() {
                 best = (shp, g);
             }
         }
-        assert_eq!(best.0, sweet, "{plat}: sweet spot at {} ({:+.2}%)", best.0, best.1 * 100.0);
+        assert_eq!(
+            best.0,
+            sweet,
+            "{plat}: sweet spot at {} ({:+.2}%)",
+            best.0,
+            best.1 * 100.0
+        );
         assert!(best.1 > 0.0);
         // Over-reservation declines past the sweet spot.
         let mut over = prod.clone();
         over.shp_pages = 600;
         let over_gain = mips(Microservice::Web, plat, &over) / base - 1.0;
-        assert!(over_gain < best.1, "{plat}: 600 SHPs must trail the sweet spot");
+        assert!(
+            over_gain < best.1,
+            "{plat}: 600 SHPs must trail the sweet spot"
+        );
     }
 }
 

@@ -6,8 +6,34 @@ use proptest::prelude::*;
 use softsku::archsim::cache::{CdpPartition, SetAssocCache};
 use softsku::archsim::ranklist::RankList;
 use softsku::archsim::reuse::ReuseDistanceDist;
-use softsku::telemetry::stats::{t_cdf, t_quantile, welch_test, RunningStats, Summary};
+use softsku::cluster::{HazardConfig, HazardSchedule};
+use softsku::telemetry::stats::{t_cdf, t_quantile, welch_test, MadFilter, RunningStats, Summary};
 use softsku::workloads::request::{erlang_c, mmc_wait_factor};
+
+/// The A/B tester's verdict skeleton: Welch at 95 % plus a minimum effect.
+/// Returns -1 (worse), 0 (no difference), +1 (better).
+fn welch_verdict(xs_a: &[f64], xs_b: &[f64]) -> i8 {
+    let a: RunningStats = xs_a.iter().copied().collect();
+    let b: RunningStats = xs_b.iter().copied().collect();
+    let (sa, sb) = (a.summary().unwrap(), b.summary().unwrap());
+    let w = welch_test(&sb, &sa);
+    let rel = sb.mean() / sa.mean() - 1.0;
+    if w.significant_at(0.95) && rel.abs() >= 0.0015 {
+        if rel > 0.0 {
+            1
+        } else {
+            -1
+        }
+    } else {
+        0
+    }
+}
+
+/// Feeds samples through a fresh MAD filter, returning only accepted ones.
+fn mad_screen(xs: &[f64]) -> Vec<f64> {
+    let mut filter = MadFilter::new(64, 8.0);
+    xs.iter().copied().filter(|&x| filter.accept(x)).collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -115,6 +141,78 @@ proptest! {
         let p2 = erlang_c(c, (a + 0.1).min(c as f64 * 0.999));
         prop_assert!(p2 + 1e-12 >= p);
         prop_assert!(mmc_wait_factor(rho, c).is_finite());
+    }
+
+    /// Interleaving ≤5 % gross corrupted readings into either arm's stream
+    /// does not change the Welch verdict once the MAD filter screens it: the
+    /// filter rejects every corrupted reading and passes every clean one, so
+    /// the accepted stream — and hence the A/B decision — is bit-identical
+    /// to the hazard-free run.
+    #[test]
+    fn mad_filter_makes_welch_verdict_outlier_invariant(
+        xs_a in proptest::collection::vec(99.0f64..101.0, 200..320),
+        xs_b in proptest::collection::vec(99.0f64..101.0, 200..320),
+        shift in -0.05f64..0.05,
+        outlier_at in proptest::collection::vec((20usize..200, any::<bool>()), 0..10),
+        factor in 4.0f64..12.0,
+    ) {
+        // Candidate arm = baseline distribution shifted by up to ±5 %.
+        let xs_b: Vec<f64> = xs_b.iter().map(|x| x * (1.0 + shift)).collect();
+        let clean = welch_verdict(&xs_a, &xs_b);
+
+        // Inject ≤5 % corrupted readings (10 of ≥200) past the filter's
+        // warm-up: gross multiplicative outliers, up or down, per arm.
+        let dirty = |xs: &[f64], parity: usize| -> Vec<f64> {
+            let mut out = Vec::with_capacity(xs.len() + outlier_at.len());
+            for (j, &x) in xs.iter().enumerate() {
+                out.push(x);
+                for &(i, up) in &outlier_at {
+                    if i % 2 == parity && i % xs.len() == j {
+                        out.push(x * if up { factor } else { 1.0 / factor });
+                    }
+                }
+            }
+            out
+        };
+
+        let screened_a = mad_screen(&dirty(&xs_a, 0));
+        let screened_b = mad_screen(&dirty(&xs_b, 1));
+        // The filter reconstructs the clean streams exactly.
+        prop_assert_eq!(&screened_a, &xs_a);
+        prop_assert_eq!(&screened_b, &xs_b);
+        prop_assert_eq!(welch_verdict(&screened_a, &screened_b), clean);
+    }
+
+    /// Identical (HazardConfig, seed) pairs produce byte-identical hazard
+    /// schedules, and a fresh schedule replays the same preview.
+    #[test]
+    fn hazard_schedules_are_deterministic(
+        seed in any::<u64>(),
+        crash_rate in 0.0f64..2.0,
+        dropout in 0.0f64..0.3,
+        outlier in 0.0f64..0.3,
+        spike_rate in 0.0f64..2.0,
+        knob_fail in 0.0f64..0.5,
+    ) {
+        let config = HazardConfig {
+            crash_rate_per_hour: crash_rate,
+            crash_outage_s: 300.0,
+            dropout_prob: dropout,
+            outlier_prob: outlier,
+            outlier_magnitude: 0.5,
+            spike_rate_per_hour: spike_rate,
+            spike_duration_s: 120.0,
+            spike_magnitude: 0.3,
+            knob_failure_prob: knob_fail,
+        };
+        let first = HazardSchedule::preview(config, seed, 8.0 * 3600.0, 30.0);
+        let second = HazardSchedule::preview(config, seed, 8.0 * 3600.0, 30.0);
+        prop_assert_eq!(&first, &second);
+        // A different seed must not replay the same (non-trivial) timeline.
+        if first.len() >= 3 {
+            let other = HazardSchedule::preview(config, seed ^ 0x9E37_79B9, 8.0 * 3600.0, 30.0);
+            prop_assert_ne!(&first, &other);
+        }
     }
 
     /// Every valid CDP partition of any way count sums back to the total and

@@ -39,7 +39,12 @@ fn web_skylake_soft_sku_beats_production_and_stock() {
     );
 
     // The composed SKU carries the paper's signature selections.
-    let knobs: Vec<Knob> = report.soft_sku.selections.iter().map(|(k, _, _)| *k).collect();
+    let knobs: Vec<Knob> = report
+        .soft_sku
+        .selections
+        .iter()
+        .map(|(k, _, _)| *k)
+        .collect();
     assert!(knobs.contains(&Knob::Cdp), "CDP should win on Web-Skylake");
     assert!(knobs.contains(&Knob::Shp), "SHP 300 should win");
 

@@ -1,0 +1,175 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements just the API surface this workspace's benches use: timing a
+//! closure a modest number of iterations and printing ns/iter. There is no
+//! statistical analysis, warm-up policy, or HTML report — the goal is that
+//! `cargo bench` compiles and produces order-of-magnitude numbers without
+//! network access to the real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    /// Accumulated (elapsed, iterations) from the measurement pass.
+    measured: Option<(Duration, u64)>,
+    target_time: Duration,
+}
+
+impl Bencher {
+    fn new(target_time: Duration) -> Self {
+        Bencher {
+            measured: None,
+            target_time,
+        }
+    }
+
+    /// Runs `routine` repeatedly and records mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration pass: find an iteration count that fills a slice of
+        // the target time without running unbounded.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (self.target_time.as_nanos() / probe.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    fn report(&self, name: &str) {
+        match self.measured {
+            Some((elapsed, iters)) => {
+                let ns = elapsed.as_nanos() as f64 / iters as f64;
+                println!("bench: {name:<40} {ns:>14.1} ns/iter ({iters} iters)");
+            }
+            None => println!("bench: {name:<40} (no measurement)"),
+        }
+    }
+}
+
+/// Top-level benchmark driver, constructed by `criterion_group!`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size(n);
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.parent.measurement_time(t);
+        self
+    }
+
+    /// Runs one benchmark under the group's name prefix.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let mut b = Bencher::new(self.parent.measurement_time);
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runnable group fn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main()` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_chains() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5))
+            .bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)))
+            .bench_function("mul", |b| b.iter(|| black_box(3u64) * black_box(4)));
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10)
+            .measurement_time(Duration::from_millis(5))
+            .bench_function("noop", |b| b.iter(|| black_box(0u8)));
+        g.finish();
+    }
+}

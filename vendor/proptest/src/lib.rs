@@ -1,0 +1,146 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API this workspace uses — the
+//! [`proptest!`] macro, [`strategy::Strategy`] with ranges / tuples /
+//! [`strategy::Just`] / [`collection::vec`] / [`option::of`] /
+//! [`prop_oneof!`] / [`any`], and string strategies from a small regex
+//! subset. Cases are generated from a seed derived from the test's module
+//! path and name, so failures are reproducible run-to-run; there is **no
+//! shrinking** — on failure the offending inputs are printed verbatim.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-test RNG: seeded from an FNV-1a hash of the test path
+/// so every run (and every machine) explores the same cases.
+pub fn rng_for(test_path: &str) -> SmallRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Strategy producing "any" value of a primitive type.
+pub fn any<T>() -> strategy::Any<T> {
+    strategy::Any(core::marker::PhantomData)
+}
+
+/// The test-harness macro: declares `#[test]` functions whose arguments are
+/// drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                let __desc = {
+                    let mut d = String::new();
+                    $(
+                        d.push_str(stringify!($arg));
+                        d.push_str(" = ");
+                        d.push_str(&format!("{:?}, ", &$arg));
+                    )+
+                    d
+                };
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(panic) = __outcome {
+                    eprintln!(
+                        "proptest {} failed at case {}/{} with inputs: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __desc
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Assertion inside a proptest body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}

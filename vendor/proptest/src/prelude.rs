@@ -1,0 +1,15 @@
+//! Glob-import surface mirroring `proptest::prelude`.
+
+pub use crate::strategy::{Just, Strategy, Union};
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    ProptestConfig,
+};
+
+/// Namespace alias so `prop::collection::vec(...)` etc. work under glob
+/// imports, as in upstream proptest.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+    pub use crate::string;
+}

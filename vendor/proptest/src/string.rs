@@ -1,0 +1,225 @@
+//! String generation from a small regex subset.
+//!
+//! Supported syntax — the subset the workspace's tests use:
+//!
+//! * literal characters
+//! * escapes: `\t`, `\n`, `\r`, `\\`, and `\PC` ("not a control character":
+//!   drawn from printable ASCII plus a few multibyte code points so UTF-8
+//!   handling gets exercised)
+//! * character classes `[...]` with literals, ranges (`a-z`), and escapes
+//! * counted repetition `{m,n}` / `{n}` and the quantifiers `*`, `+`, `?`
+//!   (bounded at 8 repeats) applied to the preceding atom
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Characters `\PC` draws from: printable ASCII plus multibyte samples.
+fn printable_pool(rng: &mut SmallRng) -> char {
+    const EXTRA: [char; 6] = ['é', 'ß', 'λ', '中', '•', '🦀'];
+    if rng.gen_range(0u32..16) == 0 {
+        EXTRA[rng.gen_range(0..EXTRA.len())]
+    } else {
+        char::from(rng.gen_range(0x20u8..0x7F))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Lit(char),
+    /// Inclusive char ranges; single chars are `(c, c)`.
+    Class(Vec<(char, char)>),
+    Printable,
+}
+
+fn class_size(ranges: &[(char, char)]) -> u32 {
+    ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum()
+}
+
+fn draw(atom: &Atom, rng: &mut SmallRng) -> char {
+    match atom {
+        Atom::Lit(c) => *c,
+        Atom::Printable => printable_pool(rng),
+        Atom::Class(ranges) => {
+            let mut idx = rng.gen_range(0..class_size(ranges));
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if idx < span {
+                    return char::from_u32(lo as u32 + idx).expect("range stays in scalar values");
+                }
+                idx -= span;
+            }
+            unreachable!("index within total class size")
+        }
+    }
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+    match chars.next() {
+        Some('t') => Atom::Lit('\t'),
+        Some('n') => Atom::Lit('\n'),
+        Some('r') => Atom::Lit('\r'),
+        Some('P') => {
+            // Only `\PC` (non-control) is supported.
+            let category = chars.next();
+            assert_eq!(
+                category,
+                Some('C'),
+                "only \\PC is supported, got \\P{category:?}"
+            );
+            Atom::Printable
+        }
+        Some(c) => Atom::Lit(c),
+        None => panic!("dangling escape in pattern"),
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Atom {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars.next().expect("unterminated character class");
+        if c == ']' {
+            break;
+        }
+        let lo = if c == '\\' {
+            match parse_escape(chars) {
+                Atom::Lit(l) => l,
+                _ => panic!("class escapes must be single characters"),
+            }
+        } else {
+            c
+        };
+        // A `-` forms a range unless it ends the class.
+        if chars.peek() == Some(&'-') {
+            chars.next();
+            match chars.peek() {
+                Some(']') | None => {
+                    ranges.push((lo, lo));
+                    ranges.push(('-', '-'));
+                }
+                Some(_) => {
+                    let hi = chars.next().expect("peeked");
+                    assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                    ranges.push((lo, hi));
+                }
+            }
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class");
+    Atom::Class(ranges)
+}
+
+fn parse_count(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+    let mut min = String::new();
+    let mut max = String::new();
+    let mut in_max = false;
+    loop {
+        match chars.next().expect("unterminated {m,n} count") {
+            '}' => break,
+            ',' => in_max = true,
+            d if d.is_ascii_digit() => {
+                if in_max {
+                    max.push(d);
+                } else {
+                    min.push(d);
+                }
+            }
+            other => panic!("unexpected {other:?} in {{m,n}} count"),
+        }
+    }
+    let lo: u32 = min.parse().expect("count lower bound");
+    let hi: u32 = if in_max {
+        max.parse().expect("count upper bound")
+    } else {
+        lo
+    };
+    assert!(lo <= hi, "inverted count {{{lo},{hi}}}");
+    (lo, hi)
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut SmallRng) -> String {
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => parse_escape(&mut chars),
+            '[' => parse_class(&mut chars),
+            '{' | '}' | '*' | '+' | '?' => panic!("quantifier {c:?} without a preceding atom"),
+            lit => Atom::Lit(lit),
+        };
+        let (lo, hi) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                parse_count(&mut chars)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        let n = rng.gen_range(lo..=hi);
+        for _ in 0..n {
+            out.push(draw(&atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_and_count_patterns() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z ]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+
+            let s = generate_matching("[ \\t]{0,6}", &mut rng);
+            assert!(s.chars().all(|c| c == ' ' || c == '\t'));
+
+            let s = generate_matching("[a-z_]{0,12}", &mut rng);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+
+            let s = generate_matching("[ =a-z0-9_,#]{0,24}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| " =_,#".contains(c) || c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_emits_no_controls() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        for _ in 0..50 {
+            let s = generate_matching("\\PC{0,400}", &mut rng);
+            assert!(s.chars().count() <= 400);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = SmallRng::seed_from_u64(29);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        let s = generate_matching("a{3}b?", &mut rng);
+        assert!(s.starts_with("aaa") && s.len() <= 4);
+    }
+}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-bf8256afeb67afeb.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-bf8256afeb67afeb: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/characterization-1077057607f3438d.d: tests/characterization.rs
+
+/root/repo/target/release/deps/characterization-1077057607f3438d: tests/characterization.rs
+
+tests/characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hazard_robustness-8362c9d6b0009530.d: tests/hazard_robustness.rs
+
+/root/repo/target/release/deps/hazard_robustness-8362c9d6b0009530: tests/hazard_robustness.rs
+
+tests/hazard_robustness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/knob_shapes-c2e0dfba91bddaf2.d: tests/knob_shapes.rs
+
+/root/repo/target/release/deps/knob_shapes-c2e0dfba91bddaf2: tests/knob_shapes.rs
+
+tests/knob_shapes.rs:

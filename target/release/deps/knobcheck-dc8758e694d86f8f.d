@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/knobcheck-dc8758e694d86f8f.d: crates/bench/src/bin/knobcheck.rs
+
+/root/repo/target/release/deps/knobcheck-dc8758e694d86f8f: crates/bench/src/bin/knobcheck.rs
+
+crates/bench/src/bin/knobcheck.rs:

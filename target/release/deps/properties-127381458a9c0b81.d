@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-127381458a9c0b81.d: crates/workloads/tests/properties.rs
+
+/root/repo/target/release/deps/properties-127381458a9c0b81: crates/workloads/tests/properties.rs
+
+crates/workloads/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-2f89e3865f4e62c2.d: crates/archsim/tests/properties.rs
+
+/root/repo/target/release/deps/properties-2f89e3865f4e62c2: crates/archsim/tests/properties.rs
+
+crates/archsim/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-4e12b8265e808f2e.d: crates/telemetry/tests/properties.rs
+
+/root/repo/target/release/deps/properties-4e12b8265e808f2e: crates/telemetry/tests/properties.rs
+
+crates/telemetry/tests/properties.rs:

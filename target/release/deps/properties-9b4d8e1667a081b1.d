@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-9b4d8e1667a081b1.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-9b4d8e1667a081b1: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

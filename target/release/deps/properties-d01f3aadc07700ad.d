@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d01f3aadc07700ad.d: crates/knobs/tests/properties.rs
+
+/root/repo/target/release/deps/properties-d01f3aadc07700ad: crates/knobs/tests/properties.rs
+
+crates/knobs/tests/properties.rs:

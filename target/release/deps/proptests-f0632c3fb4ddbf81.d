@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-f0632c3fb4ddbf81.d: tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-f0632c3fb4ddbf81: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-58a132a08acc1a97.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-58a132a08acc1a97: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

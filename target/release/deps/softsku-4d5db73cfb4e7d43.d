@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/softsku-4d5db73cfb4e7d43.d: src/lib.rs
+
+/root/repo/target/release/deps/softsku-4d5db73cfb4e7d43: src/lib.rs
+
+src/lib.rs:

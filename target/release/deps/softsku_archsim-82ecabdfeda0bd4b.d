@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/softsku_archsim-82ecabdfeda0bd4b.d: crates/archsim/src/lib.rs crates/archsim/src/branch.rs crates/archsim/src/cache.rs crates/archsim/src/counters.rs crates/archsim/src/engine.rs crates/archsim/src/error.rs crates/archsim/src/memory.rs crates/archsim/src/pagemap.rs crates/archsim/src/platform.rs crates/archsim/src/prefetch.rs crates/archsim/src/ranklist.rs crates/archsim/src/reuse.rs crates/archsim/src/stream.rs crates/archsim/src/tlb.rs crates/archsim/src/tmam.rs crates/archsim/src/trace.rs
+
+/root/repo/target/release/deps/softsku_archsim-82ecabdfeda0bd4b: crates/archsim/src/lib.rs crates/archsim/src/branch.rs crates/archsim/src/cache.rs crates/archsim/src/counters.rs crates/archsim/src/engine.rs crates/archsim/src/error.rs crates/archsim/src/memory.rs crates/archsim/src/pagemap.rs crates/archsim/src/platform.rs crates/archsim/src/prefetch.rs crates/archsim/src/ranklist.rs crates/archsim/src/reuse.rs crates/archsim/src/stream.rs crates/archsim/src/tlb.rs crates/archsim/src/tmam.rs crates/archsim/src/trace.rs
+
+crates/archsim/src/lib.rs:
+crates/archsim/src/branch.rs:
+crates/archsim/src/cache.rs:
+crates/archsim/src/counters.rs:
+crates/archsim/src/engine.rs:
+crates/archsim/src/error.rs:
+crates/archsim/src/memory.rs:
+crates/archsim/src/pagemap.rs:
+crates/archsim/src/platform.rs:
+crates/archsim/src/prefetch.rs:
+crates/archsim/src/ranklist.rs:
+crates/archsim/src/reuse.rs:
+crates/archsim/src/stream.rs:
+crates/archsim/src/tlb.rs:
+crates/archsim/src/tmam.rs:
+crates/archsim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/softsku_bench-de41a068cc6e5d7b.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs
+
+/root/repo/target/release/deps/softsku_bench-de41a068cc6e5d7b: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/characterization.rs:
+crates/bench/src/common.rs:
+crates/bench/src/knobsweeps.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/softsku_bench-e2de88a32e73879f.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs
+
+/root/repo/target/release/deps/libsoftsku_bench-e2de88a32e73879f.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs
+
+/root/repo/target/release/deps/libsoftsku_bench-e2de88a32e73879f.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/characterization.rs crates/bench/src/common.rs crates/bench/src/knobsweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/characterization.rs:
+crates/bench/src/common.rs:
+crates/bench/src/knobsweeps.rs:

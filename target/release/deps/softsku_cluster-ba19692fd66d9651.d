@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/softsku_cluster-ba19692fd66d9651.d: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs
+
+/root/repo/target/release/deps/softsku_cluster-ba19692fd66d9651: crates/cluster/src/lib.rs crates/cluster/src/colocation.rs crates/cluster/src/env.rs crates/cluster/src/error.rs crates/cluster/src/fleet.rs crates/cluster/src/hazards.rs crates/cluster/src/server.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/colocation.rs:
+crates/cluster/src/env.rs:
+crates/cluster/src/error.rs:
+crates/cluster/src/fleet.rs:
+crates/cluster/src/hazards.rs:
+crates/cluster/src/server.rs:

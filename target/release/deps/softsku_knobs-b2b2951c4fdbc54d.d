@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/softsku_knobs-b2b2951c4fdbc54d.d: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs
+
+/root/repo/target/release/deps/softsku_knobs-b2b2951c4fdbc54d: crates/knobs/src/lib.rs crates/knobs/src/error.rs crates/knobs/src/knob.rs crates/knobs/src/space.rs
+
+crates/knobs/src/lib.rs:
+crates/knobs/src/error.rs:
+crates/knobs/src/knob.rs:
+crates/knobs/src/space.rs:

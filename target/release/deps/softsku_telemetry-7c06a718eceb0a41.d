@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/softsku_telemetry-7c06a718eceb0a41.d: crates/telemetry/src/lib.rs crates/telemetry/src/emon.rs crates/telemetry/src/error.rs crates/telemetry/src/ods.rs crates/telemetry/src/stats/mod.rs crates/telemetry/src/stats/autocorr.rs crates/telemetry/src/stats/bootstrap.rs crates/telemetry/src/stats/mad.rs crates/telemetry/src/stats/student_t.rs crates/telemetry/src/stats/summary.rs crates/telemetry/src/stats/welch.rs
+
+/root/repo/target/release/deps/softsku_telemetry-7c06a718eceb0a41: crates/telemetry/src/lib.rs crates/telemetry/src/emon.rs crates/telemetry/src/error.rs crates/telemetry/src/ods.rs crates/telemetry/src/stats/mod.rs crates/telemetry/src/stats/autocorr.rs crates/telemetry/src/stats/bootstrap.rs crates/telemetry/src/stats/mad.rs crates/telemetry/src/stats/student_t.rs crates/telemetry/src/stats/summary.rs crates/telemetry/src/stats/welch.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/emon.rs:
+crates/telemetry/src/error.rs:
+crates/telemetry/src/ods.rs:
+crates/telemetry/src/stats/mod.rs:
+crates/telemetry/src/stats/autocorr.rs:
+crates/telemetry/src/stats/bootstrap.rs:
+crates/telemetry/src/stats/mad.rs:
+crates/telemetry/src/stats/student_t.rs:
+crates/telemetry/src/stats/summary.rs:
+crates/telemetry/src/stats/welch.rs:

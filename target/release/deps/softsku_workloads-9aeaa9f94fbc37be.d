@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/softsku_workloads-9aeaa9f94fbc37be.d: crates/workloads/src/lib.rs crates/workloads/src/calib.rs crates/workloads/src/comparisons.rs crates/workloads/src/error.rs crates/workloads/src/loadgen.rs crates/workloads/src/microservices.rs crates/workloads/src/profile.rs crates/workloads/src/queuesim.rs crates/workloads/src/request.rs crates/workloads/src/spec2006.rs
+
+/root/repo/target/release/deps/softsku_workloads-9aeaa9f94fbc37be: crates/workloads/src/lib.rs crates/workloads/src/calib.rs crates/workloads/src/comparisons.rs crates/workloads/src/error.rs crates/workloads/src/loadgen.rs crates/workloads/src/microservices.rs crates/workloads/src/profile.rs crates/workloads/src/queuesim.rs crates/workloads/src/request.rs crates/workloads/src/spec2006.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/calib.rs:
+crates/workloads/src/comparisons.rs:
+crates/workloads/src/error.rs:
+crates/workloads/src/loadgen.rs:
+crates/workloads/src/microservices.rs:
+crates/workloads/src/profile.rs:
+crates/workloads/src/queuesim.rs:
+crates/workloads/src/request.rs:
+crates/workloads/src/spec2006.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/usku-796e208482cf378b.d: crates/core/src/lib.rs crates/core/src/abtest.rs crates/core/src/error.rs crates/core/src/generator.rs crates/core/src/input.rs crates/core/src/map.rs crates/core/src/metric.rs crates/core/src/objective.rs crates/core/src/search.rs crates/core/src/usku.rs
+
+/root/repo/target/release/deps/usku-796e208482cf378b: crates/core/src/lib.rs crates/core/src/abtest.rs crates/core/src/error.rs crates/core/src/generator.rs crates/core/src/input.rs crates/core/src/map.rs crates/core/src/metric.rs crates/core/src/objective.rs crates/core/src/search.rs crates/core/src/usku.rs
+
+crates/core/src/lib.rs:
+crates/core/src/abtest.rs:
+crates/core/src/error.rs:
+crates/core/src/generator.rs:
+crates/core/src/input.rs:
+crates/core/src/map.rs:
+crates/core/src/metric.rs:
+crates/core/src/objective.rs:
+crates/core/src/search.rs:
+crates/core/src/usku.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/usku-9c924627837f7ed9.d: crates/core/src/bin/usku.rs
+
+/root/repo/target/release/deps/usku-9c924627837f7ed9: crates/core/src/bin/usku.rs
+
+crates/core/src/bin/usku.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/usku-b178a083dc0011fb.d: crates/core/src/bin/usku.rs
+
+/root/repo/target/release/deps/usku-b178a083dc0011fb: crates/core/src/bin/usku.rs
+
+crates/core/src/bin/usku.rs:

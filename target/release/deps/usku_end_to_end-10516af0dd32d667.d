@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/usku_end_to_end-10516af0dd32d667.d: tests/usku_end_to_end.rs
+
+/root/repo/target/release/deps/usku_end_to_end-10516af0dd32d667: tests/usku_end_to_end.rs
+
+tests/usku_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/characterize_fleet-aba64a0f42afb03f.d: examples/characterize_fleet.rs
+
+/root/repo/target/release/examples/characterize_fleet-aba64a0f42afb03f: examples/characterize_fleet.rs
+
+examples/characterize_fleet.rs:

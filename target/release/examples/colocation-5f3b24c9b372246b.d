@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/colocation-5f3b24c9b372246b.d: examples/colocation.rs
+
+/root/repo/target/release/examples/colocation-5f3b24c9b372246b: examples/colocation.rs
+
+examples/colocation.rs:

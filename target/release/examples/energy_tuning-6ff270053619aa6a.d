@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/energy_tuning-6ff270053619aa6a.d: examples/energy_tuning.rs
+
+/root/repo/target/release/examples/energy_tuning-6ff270053619aa6a: examples/energy_tuning.rs
+
+examples/energy_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tune_ads1-c458da3660b0bee2.d: examples/tune_ads1.rs
+
+/root/repo/target/release/examples/tune_ads1-c458da3660b0bee2: examples/tune_ads1.rs
+
+examples/tune_ads1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/whatif_cdp-ad43e3f32acaec7f.d: examples/whatif_cdp.rs
+
+/root/repo/target/release/examples/whatif_cdp-ad43e3f32acaec7f: examples/whatif_cdp.rs
+
+examples/whatif_cdp.rs:

@@ -23,7 +23,13 @@ use std::collections::HashMap;
 const LOAD_GRID: [f64; 3] = [0.5, 0.75, 1.0];
 
 /// A simulated server.
-#[derive(Debug)]
+///
+/// Cloning is cheap relative to construction: the clone carries the
+/// already-computed calibration (`insn_per_query`, `production_mips`) and
+/// the warmed load-curve cache, so a replica does not re-run the engine for
+/// any configuration the original has already evaluated. The A/B scheduler
+/// relies on this to fork per-test environment replicas.
+#[derive(Debug, Clone)]
 pub struct SimServer {
     profile: WorkloadProfile,
     config: ServerConfig,

@@ -26,6 +26,12 @@
 //! MIPS is invalid ([`metric`]), and a perf-per-watt objective
 //! ([`objective`]).
 //!
+//! For fleet-scale tuning, [`scheduler`] shards the A/B tests of a sweep
+//! across a worker pool — each test on its own forked environment replica
+//! with a seed derived from the test's identity — so parallel sweeps are
+//! bit-identical to serial ones regardless of worker count, and a
+//! [`scheduler::FleetTuner`] can tune all seven services concurrently.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -49,6 +55,7 @@ pub mod input;
 pub mod map;
 pub mod metric;
 pub mod objective;
+pub mod scheduler;
 pub mod search;
 pub mod usku;
 
@@ -59,5 +66,10 @@ pub use input::{InputFile, SweepConfig};
 pub use map::DesignSpaceMap;
 pub use metric::PerformanceMetric;
 pub use objective::{Objective, PowerModel};
+pub use scheduler::{
+    default_workers, derive_joint_seed, derive_seed, parallel_exhaustive_sweep,
+    parallel_independent_sweep, plan_exhaustive, plan_independent, FleetOutcome, FleetTuner,
+    JointUnit, Schedule, ServiceTuning, TestUnit,
+};
 pub use search::{exhaustive_sweep, hill_climb, independent_sweep, SearchOutcome};
 pub use usku::{AbTestConfigurator, Usku, UskuConfig, UskuReport};

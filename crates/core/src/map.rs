@@ -9,10 +9,27 @@ use crate::abtest::{AbTestResult, Verdict};
 use softsku_knobs::{Knob, KnobSetting};
 use std::collections::BTreeMap;
 
-/// All A/B results for one experiment, organized per knob.
+/// One measurement of a *joint* configuration (several knobs changed at
+/// once, as the exhaustive sweep produces).
+///
+/// Joint results live in a dedicated ledger rather than under any single
+/// knob: attributing a joint gain to one constituent knob would let
+/// [`DesignSpaceMap::best_setting`] claim the whole interaction effect for
+/// that knob alone.
+#[derive(Debug, Clone)]
+pub struct JointResult {
+    /// The constituent setting of every swept knob, in sweep order.
+    pub settings: Vec<KnobSetting>,
+    /// The measurement; `result.setting` is a display label only.
+    pub result: AbTestResult,
+}
+
+/// All A/B results for one experiment, organized per knob, with joint
+/// (multi-knob) configurations in a separate ledger.
 #[derive(Debug, Default)]
 pub struct DesignSpaceMap {
     per_knob: BTreeMap<Knob, Vec<AbTestResult>>,
+    joint: Vec<JointResult>,
 }
 
 impl DesignSpaceMap {
@@ -27,6 +44,43 @@ impl DesignSpaceMap {
             .entry(result.setting.knob())
             .or_default()
             .push(result);
+    }
+
+    /// Records one joint-configuration result under every constituent
+    /// setting, in the dedicated joint ledger.
+    pub fn record_joint(&mut self, settings: Vec<KnobSetting>, result: AbTestResult) {
+        self.joint.push(JointResult { settings, result });
+    }
+
+    /// All joint-configuration results, in test order.
+    pub fn joint_results(&self) -> &[JointResult] {
+        &self.joint
+    }
+
+    /// The most performant *significantly better* joint configuration, if
+    /// any beat the baseline. Ties keep the earliest-recorded entry, so the
+    /// winner is independent of how a parallel sweep's shards completed.
+    pub fn best_joint(&self) -> Option<(&JointResult, f64)> {
+        let mut best: Option<(&JointResult, f64)> = None;
+        for j in &self.joint {
+            if let Some(gain) = j.result.verdict.gain() {
+                if best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((j, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Appends every result of `other`, preserving `other`'s internal test
+    /// order. The parallel scheduler merges worker maps with this in
+    /// canonical (plan) order, which is what makes the merged map identical
+    /// regardless of worker count or completion order.
+    pub fn merge(&mut self, other: DesignSpaceMap) {
+        for (knob, results) in other.per_knob {
+            self.per_knob.entry(knob).or_default().extend(results);
+        }
+        self.joint.extend(other.joint);
     }
 
     /// Knobs with at least one recorded result.
@@ -48,18 +102,15 @@ impl DesignSpaceMap {
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("gains are finite"))
     }
 
-    /// Total A/B tests recorded.
+    /// Total A/B tests recorded, joint configurations included.
     pub fn test_count(&self) -> usize {
-        self.per_knob.values().map(Vec::len).sum()
+        self.per_knob.values().map(Vec::len).sum::<usize>() + self.joint.len()
     }
 
-    /// Total samples consumed across all tests.
+    /// Total samples consumed across all tests, joint configurations
+    /// included.
     pub fn sample_count(&self) -> usize {
-        self.per_knob
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|r| r.samples)
-            .sum()
+        self.all_results().map(|r| r.samples).sum()
     }
 
     /// Settings discarded for QoS violations.
@@ -78,32 +129,52 @@ impl DesignSpaceMap {
     }
 
     fn count_verdict(&self, pred: impl Fn(&Verdict) -> bool) -> usize {
+        self.all_results().filter(|r| pred(&r.verdict)).count()
+    }
+
+    /// Every recorded result, per-knob entries first, then joint entries.
+    fn all_results(&self) -> impl Iterator<Item = &AbTestResult> {
         self.per_knob
             .values()
             .flat_map(|v| v.iter())
-            .filter(|r| pred(&r.verdict))
-            .count()
+            .chain(self.joint.iter().map(|j| &j.result))
     }
 
     /// Renders a human-readable table of the map (one line per test).
     pub fn render(&self) -> String {
+        let verdict_desc = |verdict: &Verdict| match *verdict {
+            Verdict::Better { gain } => format!("better {:+.2}%", gain * 100.0),
+            Verdict::Worse { loss } => format!("worse {:+.2}%", loss * 100.0),
+            Verdict::NoDifference => "no significant difference".to_string(),
+            Verdict::QosViolated => "discarded: QoS violation".to_string(),
+            Verdict::SkippedRebootIntolerant => "skipped: reboot not tolerated".to_string(),
+            Verdict::Inconclusive { reason } => format!("inconclusive: {reason}"),
+        };
         let mut out = String::new();
         for (knob, results) in &self.per_knob {
             out.push_str(&format!("knob {knob}:\n"));
             for r in results {
-                let desc = match r.verdict {
-                    Verdict::Better { gain } => format!("better {:+.2}%", gain * 100.0),
-                    Verdict::Worse { loss } => format!("worse {:+.2}%", loss * 100.0),
-                    Verdict::NoDifference => "no significant difference".to_string(),
-                    Verdict::QosViolated => "discarded: QoS violation".to_string(),
-                    Verdict::SkippedRebootIntolerant => "skipped: reboot not tolerated".to_string(),
-                    Verdict::Inconclusive { reason } => format!("inconclusive: {reason}"),
-                };
                 out.push_str(&format!(
                     "  {:<28} {:<28} ({} samples)\n",
                     r.setting.to_string(),
-                    desc,
+                    verdict_desc(&r.verdict),
                     r.samples
+                ));
+            }
+        }
+        if !self.joint.is_empty() {
+            out.push_str("joint configurations:\n");
+            for j in &self.joint {
+                let label = j
+                    .settings
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out.push_str(&format!(
+                    "  [{label}] {:<28} ({} samples)\n",
+                    verdict_desc(&j.result.verdict),
+                    j.result.samples
                 ));
             }
         }
@@ -208,6 +279,78 @@ mod tests {
         assert_eq!(map.test_count(), 0);
         assert_eq!(map.results(Knob::Cdp).len(), 0);
         assert!(map.best_setting(Knob::Thp).is_none());
+        assert!(map.best_joint().is_none());
         assert!(map.render().is_empty());
+    }
+
+    #[test]
+    fn joint_results_do_not_pollute_per_knob_attribution() {
+        let mut map = DesignSpaceMap::new();
+        let settings = vec![
+            KnobSetting::ShpPages(300),
+            KnobSetting::Thp(softsku_archsim::ThpMode::AlwaysOn),
+        ];
+        map.record_joint(
+            settings.clone(),
+            result(settings[1], Verdict::Better { gain: 0.08 }, 150),
+        );
+        // The joint gain is visible in the joint ledger only.
+        assert!(map.best_setting(Knob::Shp).is_none());
+        assert!(map.best_setting(Knob::Thp).is_none());
+        let (best, gain) = map.best_joint().unwrap();
+        assert_eq!(best.settings, settings);
+        assert!((gain - 0.08).abs() < 1e-12);
+        assert_eq!(map.test_count(), 1);
+        assert_eq!(map.sample_count(), 150);
+        assert!(map.render().contains("joint configurations"));
+    }
+
+    #[test]
+    fn joint_ties_keep_the_earliest_entry() {
+        let mut map = DesignSpaceMap::new();
+        let first = vec![KnobSetting::ShpPages(300)];
+        let second = vec![KnobSetting::ShpPages(400)];
+        map.record_joint(
+            first.clone(),
+            result(first[0], Verdict::Better { gain: 0.05 }, 100),
+        );
+        map.record_joint(
+            second.clone(),
+            result(second[0], Verdict::Better { gain: 0.05 }, 100),
+        );
+        assert_eq!(map.best_joint().unwrap().0.settings, first);
+    }
+
+    #[test]
+    fn merge_preserves_order_and_counts() {
+        let mut a = DesignSpaceMap::new();
+        a.record(result(
+            KnobSetting::ShpPages(100),
+            Verdict::Better { gain: 0.01 },
+            50,
+        ));
+        let mut b = DesignSpaceMap::new();
+        b.record(result(
+            KnobSetting::ShpPages(300),
+            Verdict::Better { gain: 0.06 },
+            50,
+        ));
+        b.record_joint(
+            vec![KnobSetting::ShpPages(300)],
+            result(
+                KnobSetting::ShpPages(300),
+                Verdict::Better { gain: 0.07 },
+                50,
+            ),
+        );
+        a.merge(b);
+        assert_eq!(a.test_count(), 3);
+        assert_eq!(a.results(Knob::Shp).len(), 2);
+        assert_eq!(a.results(Knob::Shp)[1].setting, KnobSetting::ShpPages(300));
+        assert_eq!(a.joint_results().len(), 1);
+        assert_eq!(
+            a.best_setting(Knob::Shp).unwrap().0,
+            KnobSetting::ShpPages(300)
+        );
     }
 }

@@ -1,0 +1,773 @@
+//! Deterministic parallel tuning scheduler.
+//!
+//! The paper's prototype tunes one service at a time, one A/B test at a
+//! time, and Sec. 7 concedes that the exhaustive design space "requires an
+//! impractically large number of A/B tests" — serial execution is the
+//! bottleneck. But every test of an independent sweep is, by construction,
+//! independent: it compares one candidate setting against the production
+//! baseline on its own server pair. Real fleets have thousands of such
+//! pairs; this module simulates exactly that scale-out by sharding the
+//! tests of a sweep across a [`std::thread::scope`] worker pool, one forked
+//! [`AbEnvironment`] replica per test.
+//!
+//! **Determinism is the contract.** Each test's replica is seeded from
+//! [`derive_seed`]`(base, service, knob, setting)` — a pure function of the
+//! test's *identity*, not of scheduling. Workers pull tests from a shared
+//! queue in whatever order the OS runs them, record results into
+//! plan-indexed slots, and the scheduler merges those slots back into the
+//! [`DesignSpaceMap`] in canonical plan order. Verdicts, maps, and composed
+//! configurations are therefore bit-identical for 1, 2, or 64 workers,
+//! with or without injected hazards — the property pinned down by
+//! `tests/parallel_determinism.rs`.
+//!
+//! [`FleetTuner`] stacks a second axis on top: all services × platforms
+//! tuned concurrently on one worker pool (the fleet-wide µSKU deployment
+//! the paper envisions), with per-service wall-clock/throughput counters
+//! recorded in an ODS-style ledger.
+
+use crate::abtest::{AbTestConfig, AbTestResult, AbTester};
+use crate::error::UskuError;
+use crate::map::DesignSpaceMap;
+use crate::metric::PerformanceMetric;
+use crate::search::{compose, SearchOutcome};
+use softsku_archsim::engine::ServerConfig;
+use softsku_cluster::{AbEnvironment, Arm, EnvConfig};
+use softsku_knobs::{Knob, KnobSetting, KnobSpace};
+use softsku_telemetry::{Ods, SeriesKey};
+use softsku_workloads::{Microservice, PlatformKind};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// FNV-1a over a byte stream, the repo's stable hashing workhorse.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xFF]); // separator: "ab"+"c" must differ from "a"+"bc"
+    }
+}
+
+/// Derives the replica seed for one scheduled A/B test from the tuning base
+/// seed and the test's identity `(service, knob, setting)`.
+///
+/// The derivation hashes the *display names* (stable, human-auditable)
+/// through FNV-1a, so the seed depends only on what is being tested — never
+/// on worker count, queue position, or completion order. Two sweeps over
+/// the same space with the same base seed replay bit-identically.
+pub fn derive_seed(base: u64, service: &str, knob: Knob, setting_label: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&base.to_le_bytes());
+    h.write_str(service);
+    h.write_str(&knob.to_string());
+    h.write_str(setting_label);
+    h.0
+}
+
+/// Seed for a joint (multi-knob) configuration: the same scheme folded over
+/// every constituent setting in sweep order.
+pub fn derive_joint_seed(base: u64, service: &str, settings: &[KnobSetting]) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&base.to_le_bytes());
+    h.write_str(service);
+    for s in settings {
+        h.write_str(&s.knob().to_string());
+        h.write_str(&s.to_string());
+    }
+    h.0
+}
+
+/// One schedulable A/B test of an independent sweep: a candidate setting
+/// plus the replica seed derived from its identity.
+#[derive(Debug, Clone)]
+pub struct TestUnit {
+    /// The candidate setting to test against the baseline.
+    pub setting: KnobSetting,
+    /// Replica seed ([`derive_seed`]).
+    pub seed: u64,
+}
+
+/// One schedulable test of an exhaustive sweep: a whole joint configuration.
+#[derive(Debug, Clone)]
+pub struct JointUnit {
+    /// The joint candidate configuration.
+    pub config: ServerConfig,
+    /// The constituent setting of every swept knob, in sweep order.
+    pub settings: Vec<KnobSetting>,
+    /// Replica seed ([`derive_joint_seed`]).
+    pub seed: u64,
+}
+
+/// Plans the independent sweep in canonical order: knobs in the order
+/// given, candidates in knob-space order, skipping the baseline's own value
+/// of each knob (it is the control) — exactly the tests
+/// [`crate::search::independent_sweep`] would run serially.
+pub fn plan_independent(
+    baseline: &ServerConfig,
+    space: &KnobSpace,
+    knobs: &[Knob],
+    service: &str,
+    base_seed: u64,
+) -> Vec<TestUnit> {
+    let mut plan = Vec::new();
+    for &knob in knobs {
+        for &setting in space.candidates(knob) {
+            if KnobSetting::read_from(knob, baseline) == setting {
+                continue;
+            }
+            plan.push(TestUnit {
+                setting,
+                seed: derive_seed(base_seed, service, knob, &setting.to_string()),
+            });
+        }
+    }
+    plan
+}
+
+/// Plans the exhaustive cross-product sweep in canonical (mixed-radix)
+/// order, bounded by `budget` — the same enumeration, validity gating, and
+/// budget accounting as the serial [`crate::search::exhaustive_sweep`].
+pub fn plan_exhaustive(
+    baseline: &ServerConfig,
+    space: &KnobSpace,
+    knobs: &[Knob],
+    budget: usize,
+    service: &str,
+    base_seed: u64,
+) -> Vec<JointUnit> {
+    let candidate_lists: Vec<&[KnobSetting]> = knobs.iter().map(|&k| space.candidates(k)).collect();
+    let mut plan = Vec::new();
+    let mut indices = vec![0usize; knobs.len()];
+    'outer: loop {
+        let mut config = baseline.clone();
+        let mut settings = Vec::with_capacity(knobs.len());
+        let mut valid = true;
+        for (i, list) in candidate_lists.iter().enumerate() {
+            if list.is_empty() {
+                valid = false;
+                break;
+            }
+            let setting = list[indices[i]];
+            if setting.apply(&mut config).is_err() {
+                valid = false;
+                break;
+            }
+            settings.push(setting);
+        }
+        if valid && config != *baseline {
+            if plan.len() >= budget {
+                break 'outer;
+            }
+            let seed = derive_joint_seed(base_seed, service, &settings);
+            plan.push(JointUnit {
+                config,
+                settings,
+                seed,
+            });
+        }
+        let mut i = 0;
+        loop {
+            if i == knobs.len() {
+                break 'outer;
+            }
+            indices[i] += 1;
+            if indices[i] < candidate_lists[i].len().max(1) {
+                break;
+            }
+            indices[i] = 0;
+            i += 1;
+        }
+    }
+    plan
+}
+
+/// Completed run of one scheduled unit.
+struct UnitRun {
+    result: AbTestResult,
+    /// Simulated machine-seconds the replica consumed.
+    sim_time_s: f64,
+    /// Real wall-clock seconds the test took on its worker.
+    wall_s: f64,
+}
+
+/// Runs `units` on a scoped worker pool and returns one [`UnitRun`] per
+/// unit **in plan order**, regardless of which worker ran what or when it
+/// finished. Workers pull from a shared atomic cursor (work stealing keeps
+/// them busy through uneven test lengths) and deposit into plan-indexed
+/// slots; nothing about the output depends on scheduling.
+///
+/// Errors are also deterministic: every unit either completes or the pool
+/// drains early, and the error reported is the one at the lowest plan
+/// index, not the first to lose a race.
+fn run_pool<T, F>(units: &[T], workers: usize, run_one: F) -> Result<Vec<UnitRun>, UskuError>
+where
+    T: Sync,
+    F: Fn(&T) -> Result<(AbTestResult, f64), UskuError> + Sync,
+{
+    let workers = workers.max(1).min(units.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let slots: Mutex<Vec<Option<Result<UnitRun, UskuError>>>> =
+        Mutex::new((0..units.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= units.len() {
+                    break;
+                }
+                let t0 = Instant::now();
+                let outcome = run_one(&units[i]).map(|(result, sim_time_s)| UnitRun {
+                    result,
+                    sim_time_s,
+                    wall_s: t0.elapsed().as_secs_f64(),
+                });
+                if outcome.is_err() {
+                    failed.store(true, Ordering::Relaxed);
+                }
+                slots.lock().expect("no panics hold the slot lock")[i] = Some(outcome);
+            });
+        }
+    });
+
+    let mut runs = Vec::with_capacity(units.len());
+    for slot in slots.into_inner().expect("workers joined") {
+        match slot {
+            Some(Ok(run)) => runs.push(run),
+            Some(Err(e)) => return Err(e),
+            // A later unit may be unstarted after an early failure; only
+            // reachable when some slot errored, which the scan above hits
+            // first only if it sits at a lower index — so scan on.
+            None => break,
+        }
+    }
+    Ok(runs)
+}
+
+/// Pre-evaluates the baseline load curve on the proto environment so every
+/// fork inherits it from the cloned arm instead of re-running the engine.
+/// Best-effort: a replica that misses the warm cache just evaluates lazily.
+fn warm_baseline(proto: &mut AbEnvironment, baseline: &ServerConfig) {
+    let arm = proto.arm_mut(Arm::A);
+    if arm.reconfigure(baseline.clone(), false).is_ok() {
+        let _ = arm.mips(1.0);
+    }
+}
+
+/// The number of workers to use when the caller does not care: one per
+/// available hardware thread.
+pub fn default_workers() -> NonZeroUsize {
+    std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(4).expect("4 > 0"))
+}
+
+/// Scheduling parameters shared by the parallel sweeps: the base seed the
+/// per-test replica seeds derive from, and the worker-pool size. Only the
+/// seed affects results; workers affect wall-clock alone.
+#[derive(Debug, Clone, Copy)]
+pub struct Schedule {
+    /// Base seed for [`derive_seed`] / [`derive_joint_seed`].
+    pub base_seed: u64,
+    /// Worker-pool size.
+    pub workers: NonZeroUsize,
+}
+
+impl Schedule {
+    /// A schedule with the given base seed and one worker per available
+    /// hardware thread.
+    pub fn new(base_seed: u64) -> Self {
+        Schedule {
+            base_seed,
+            workers: default_workers(),
+        }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: NonZeroUsize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+/// Parallel independent per-knob sweep.
+///
+/// Runs the same test plan as [`crate::search::independent_sweep`], but
+/// each test executes on its own [`AbEnvironment::fork`] replica seeded by
+/// [`derive_seed`], sharded across the schedule's worker pool. Results are
+/// merged into the [`DesignSpaceMap`] in canonical plan order, so the
+/// outcome — every verdict, the map, and the composed `best_config` — is
+/// bit-identical for any worker count. With one worker this *is* the
+/// serial sweep under the derived-seed scheme (the reference the
+/// determinism suite compares against).
+///
+/// # Errors
+///
+/// Propagates tester/environment errors (deterministically: the failing
+/// unit at the lowest plan index wins).
+pub fn parallel_independent_sweep(
+    tester: &AbTester,
+    proto: &mut AbEnvironment,
+    baseline: &ServerConfig,
+    space: &KnobSpace,
+    knobs: &[Knob],
+    schedule: Schedule,
+) -> Result<SearchOutcome, UskuError> {
+    let service = proto.profile().service.name().to_string();
+    let plan = plan_independent(baseline, space, knobs, &service, schedule.base_seed);
+    warm_baseline(proto, baseline);
+    let proto = &*proto;
+    let runs = run_pool(&plan, schedule.workers.get(), |unit: &TestUnit| {
+        let mut env = proto.fork(unit.seed);
+        let result = tester.run(&mut env, baseline, unit.setting)?;
+        Ok((result, env.time_s()))
+    })?;
+    let mut map = DesignSpaceMap::new();
+    for run in runs {
+        map.record(run.result);
+    }
+    let (best_config, selected) = compose(baseline, &map, knobs);
+    Ok(SearchOutcome {
+        map,
+        best_config,
+        selected,
+    })
+}
+
+/// Parallel exhaustive cross-product sweep over a (small) knob subset.
+///
+/// Same enumeration and budget as [`crate::search::exhaustive_sweep`], with
+/// each joint configuration measured on its own forked replica. Joint
+/// results land in the map's joint ledger in canonical order; the winner is
+/// the earliest-planned maximum gain, so it cannot depend on which worker
+/// finished first.
+///
+/// # Errors
+///
+/// Propagates tester/environment errors.
+pub fn parallel_exhaustive_sweep(
+    tester: &AbTester,
+    proto: &mut AbEnvironment,
+    baseline: &ServerConfig,
+    space: &KnobSpace,
+    knobs: &[Knob],
+    budget: usize,
+    schedule: Schedule,
+) -> Result<SearchOutcome, UskuError> {
+    let service = proto.profile().service.name().to_string();
+    let plan = plan_exhaustive(baseline, space, knobs, budget, &service, schedule.base_seed);
+    warm_baseline(proto, baseline);
+    let proto = &*proto;
+    let runs = run_pool(&plan, schedule.workers.get(), |unit: &JointUnit| {
+        let mut env = proto.fork(unit.seed);
+        let needs_reboot = unit.config.active_cores != baseline.active_cores
+            || unit.config.shp_pages != baseline.shp_pages;
+        let label = *unit.settings.last().expect("joint units are non-empty");
+        let result = tester.run_config(&mut env, baseline, &unit.config, needs_reboot, label)?;
+        Ok((result, env.time_s()))
+    })?;
+    let mut map = DesignSpaceMap::new();
+    for (unit, run) in plan.iter().zip(runs) {
+        map.record_joint(unit.settings.clone(), run.result);
+    }
+    let (best_config, selected) = match map.best_joint() {
+        Some((joint, gain)) => {
+            let mut config = baseline.clone();
+            let mut selected = Vec::with_capacity(joint.settings.len());
+            for s in &joint.settings {
+                s.apply(&mut config).expect("planned settings are valid");
+                selected.push((s.knob(), *s, gain));
+            }
+            (config, selected)
+        }
+        None => (baseline.clone(), Vec::new()),
+    };
+    Ok(SearchOutcome {
+        map,
+        best_config,
+        selected,
+    })
+}
+
+/// The tuning outcome for one (service, platform) fleet target.
+#[derive(Debug)]
+pub struct ServiceTuning {
+    /// The tuned service.
+    pub service: Microservice,
+    /// The platform it was tuned on.
+    pub platform: PlatformKind,
+    /// The sweep outcome (map, best config, selections).
+    pub outcome: SearchOutcome,
+    /// Simulated machine-seconds consumed across this service's replicas
+    /// (the fleet "cost" of the tuning campaign).
+    pub sim_time_s: f64,
+    /// Real wall-clock seconds spent on this service's tests, summed over
+    /// workers.
+    pub wall_s: f64,
+}
+
+/// Outcome of a fleet-wide tuning campaign.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Per-target results, in the order the targets were given.
+    pub services: Vec<ServiceTuning>,
+    /// ODS-style per-service counters: series
+    /// `<service>@<platform>/tune.wall_s` and `tune.sim_s` carry one point
+    /// per test (indexed by canonical plan position).
+    pub ods: Ods,
+    /// End-to-end wall-clock of the whole campaign, seconds.
+    pub wall_s: f64,
+}
+
+impl FleetOutcome {
+    /// Total A/B tests run across the fleet.
+    pub fn test_count(&self) -> usize {
+        self.services
+            .iter()
+            .map(|s| s.outcome.map.test_count())
+            .sum()
+    }
+
+    /// Fleet-wide tuning throughput, tests per wall-clock second.
+    pub fn tests_per_second(&self) -> f64 {
+        self.test_count() as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Renders a per-service summary table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "fleet tuning — {} tests in {:.2} s wall ({:.1} tests/s)\n",
+            self.test_count(),
+            self.wall_s,
+            self.tests_per_second()
+        );
+        for s in &self.services {
+            out.push_str(&format!(
+                "  {:<8} on {:<12} {:>3} tests  {:>7} samples  {:>6.1} sim-h  {:>6.2} s wall  {} knobs selected\n",
+                s.service.to_string(),
+                s.platform.to_string(),
+                s.outcome.map.test_count(),
+                s.outcome.map.sample_count(),
+                s.sim_time_s / 3600.0,
+                s.wall_s,
+                s.outcome.selected.len()
+            ));
+            for (knob, setting, gain) in &s.outcome.selected {
+                out.push_str(&format!(
+                    "      {:<16} -> {:<24} ({:+.2}%)\n",
+                    knob.to_string(),
+                    setting.to_string(),
+                    gain * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Tunes every fleet target concurrently on one worker pool.
+///
+/// This is the fleet-scale front-end the ROADMAP's north star asks for: the
+/// full independent-sweep test matrix of all targets (each service with its
+/// constraint-gated knob set and its recommended metric) is flattened into
+/// one global plan and executed by [`run_pool`] — so a long Web sweep
+/// overlaps with short Cache sweeps instead of serializing behind them.
+/// Per-test replica seeds are derived from `(service, knob, setting)`, so
+/// fleet results are bit-identical to tuning each service alone.
+#[derive(Debug, Clone)]
+pub struct FleetTuner {
+    abtest: AbTestConfig,
+    env: EnvConfig,
+    base_seed: u64,
+    workers: NonZeroUsize,
+    knobs: Option<Vec<Knob>>,
+}
+
+impl FleetTuner {
+    /// Creates a fleet tuner with the given A/B stopping rules and
+    /// environment parameters, using every available hardware thread.
+    pub fn new(abtest: AbTestConfig, env: EnvConfig, base_seed: u64) -> Self {
+        FleetTuner {
+            abtest,
+            env,
+            base_seed,
+            workers: default_workers(),
+            knobs: None,
+        }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: NonZeroUsize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Restricts the sweep to a knob subset (intersected with each
+    /// service's active knobs); `None` sweeps every active knob.
+    pub fn with_knobs(mut self, knobs: Vec<Knob>) -> Self {
+        self.knobs = Some(knobs);
+        self
+    }
+
+    /// Every service on its first supported platform — the paper's
+    /// seven-service fleet.
+    pub fn default_targets() -> Vec<(Microservice, PlatformKind)> {
+        Microservice::ALL
+            .iter()
+            .map(|&s| (s, s.supported_platforms()[0]))
+            .collect()
+    }
+
+    /// Tunes all `targets` concurrently and returns per-service outcomes
+    /// plus the ODS tuning-telemetry ledger.
+    ///
+    /// # Errors
+    ///
+    /// Workload-resolution, environment, and tester errors.
+    pub fn tune(
+        &self,
+        targets: &[(Microservice, PlatformKind)],
+    ) -> Result<FleetOutcome, UskuError> {
+        struct Target {
+            service: Microservice,
+            platform: PlatformKind,
+            baseline: ServerConfig,
+            tester: AbTester,
+            knobs: Vec<Knob>,
+            proto: AbEnvironment,
+        }
+        /// One entry of the flattened fleet-wide plan.
+        struct FleetUnit {
+            target_idx: usize,
+            unit: TestUnit,
+        }
+
+        let t0 = Instant::now();
+        let mut prepared = Vec::with_capacity(targets.len());
+        let mut plan: Vec<FleetUnit> = Vec::new();
+        for (target_idx, &(service, platform)) in targets.iter().enumerate() {
+            let profile = service.profile(platform)?;
+            let baseline = profile.production_config.clone();
+            let space = KnobSpace::for_platform(&baseline.platform, profile.constraints);
+            let mut knobs = space.active_knobs();
+            if let Some(subset) = &self.knobs {
+                knobs.retain(|k| subset.contains(k));
+            }
+            // The proto replica every per-test fork clones; its seed is
+            // itself derived from the target identity.
+            let env_seed = derive_seed(
+                self.base_seed,
+                service.name(),
+                Knob::CoreFrequency,
+                &format!("fleet-proto@{platform}"),
+            );
+            let mut proto = AbEnvironment::new(profile, self.env, env_seed)?;
+            warm_baseline(&mut proto, &baseline);
+            let units = plan_independent(&baseline, &space, &knobs, service.name(), self.base_seed);
+            plan.extend(units.into_iter().map(|unit| FleetUnit { target_idx, unit }));
+            prepared.push(Target {
+                service,
+                platform,
+                baseline,
+                tester: AbTester::new(self.abtest, PerformanceMetric::recommended_for(service)),
+                knobs,
+                proto,
+            });
+        }
+
+        let prepared_ref = &prepared;
+        let runs = run_pool(&plan, self.workers.get(), |fu: &FleetUnit| {
+            let target = &prepared_ref[fu.target_idx];
+            let mut env = target.proto.fork(fu.unit.seed);
+            let result = target
+                .tester
+                .run(&mut env, &target.baseline, fu.unit.setting)?;
+            Ok((result, env.time_s()))
+        })?;
+
+        // Reassemble per target in canonical order and lay down the ODS
+        // tuning counters (one point per test, indexed by plan position).
+        let mut ods = Ods::new();
+        let mut maps: Vec<DesignSpaceMap> =
+            (0..prepared.len()).map(|_| DesignSpaceMap::new()).collect();
+        let mut sim_time: Vec<f64> = vec![0.0; prepared.len()];
+        let mut wall: Vec<f64> = vec![0.0; prepared.len()];
+        let mut per_target_idx: Vec<usize> = vec![0; prepared.len()];
+        for (fu, run) in plan.iter().zip(runs) {
+            let target = &prepared[fu.target_idx];
+            let entity = format!("{}@{}", target.service, target.platform);
+            let idx = per_target_idx[fu.target_idx];
+            per_target_idx[fu.target_idx] += 1;
+            ods.append(
+                &SeriesKey::new(&entity, "tune.wall_s"),
+                idx as f64,
+                run.wall_s,
+            )
+            .expect("plan index is monotone per series");
+            ods.append(
+                &SeriesKey::new(&entity, "tune.sim_s"),
+                idx as f64,
+                run.sim_time_s,
+            )
+            .expect("plan index is monotone per series");
+            sim_time[fu.target_idx] += run.sim_time_s;
+            wall[fu.target_idx] += run.wall_s;
+            maps[fu.target_idx].record(run.result);
+        }
+
+        let mut services = Vec::with_capacity(prepared.len());
+        for (i, target) in prepared.into_iter().enumerate() {
+            let map = std::mem::take(&mut maps[i]);
+            let (best_config, selected) = compose(&target.baseline, &map, &target.knobs);
+            services.push(ServiceTuning {
+                service: target.service,
+                platform: target.platform,
+                outcome: SearchOutcome {
+                    map,
+                    best_config,
+                    selected,
+                },
+                sim_time_s: sim_time[i],
+                wall_s: wall[i],
+            });
+        }
+        Ok(FleetOutcome {
+            services,
+            ods,
+            wall_s: t0.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::PerformanceMetric;
+    use softsku_knobs::WorkloadConstraints;
+    use softsku_workloads::{Microservice, PlatformKind};
+
+    fn setup() -> (AbTester, AbEnvironment, ServerConfig, KnobSpace) {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let baseline = profile.production_config.clone();
+        let space = KnobSpace::for_platform(
+            &profile.production_config.platform,
+            WorkloadConstraints::permissive(),
+        );
+        let env = AbEnvironment::new(profile, EnvConfig::fast_test(), 21).unwrap();
+        let tester = AbTester::new(AbTestConfig::fast_test(), PerformanceMetric::Mips);
+        (tester, env, baseline, space)
+    }
+
+    #[test]
+    fn seeds_depend_on_identity_not_position() {
+        let a = derive_seed(7, "Web", Knob::Thp, "thp=always");
+        let b = derive_seed(7, "Web", Knob::Thp, "thp=always");
+        assert_eq!(a, b, "same identity, same seed");
+        assert_ne!(a, derive_seed(8, "Web", Knob::Thp, "thp=always"));
+        assert_ne!(a, derive_seed(7, "Ads1", Knob::Thp, "thp=always"));
+        assert_ne!(a, derive_seed(7, "Web", Knob::Shp, "thp=always"));
+        assert_ne!(a, derive_seed(7, "Web", Knob::Thp, "thp=never"));
+        // Separator discipline: shifting a character across the field
+        // boundary must change the hash.
+        assert_ne!(
+            derive_seed(7, "ab", Knob::Thp, "c"),
+            derive_seed(7, "a", Knob::Thp, "bc")
+        );
+    }
+
+    #[test]
+    fn independent_plan_is_canonical_and_skips_the_control() {
+        let (_, env, baseline, space) = setup();
+        let knobs = [Knob::Thp, Knob::Shp];
+        let service = env.profile().service.name();
+        let plan = plan_independent(&baseline, &space, &knobs, service, 5);
+        let replay = plan_independent(&baseline, &space, &knobs, service, 5);
+        assert_eq!(plan.len(), replay.len());
+        for (a, b) in plan.iter().zip(&replay) {
+            assert_eq!(a.setting, b.setting);
+            assert_eq!(a.seed, b.seed);
+        }
+        // The baseline's own settings are the control and never planned.
+        for unit in &plan {
+            assert_ne!(
+                KnobSetting::read_from(unit.setting.knob(), &baseline),
+                unit.setting
+            );
+        }
+        // Seeds are pairwise distinct across the plan.
+        let mut seeds: Vec<u64> = plan.iter().map(|u| u.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), plan.len());
+    }
+
+    #[test]
+    fn exhaustive_plan_matches_serial_budget_semantics() {
+        let (_, env, baseline, space) = setup();
+        let service = env.profile().service.name();
+        let plan = plan_exhaustive(&baseline, &space, &[Knob::Thp], 2, service, 5);
+        assert!(plan.len() <= 2);
+        for unit in &plan {
+            assert_eq!(unit.settings.len(), 1);
+            assert_ne!(unit.config, baseline);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_finds_the_same_winners_as_the_serial_strategy() {
+        let (tester, mut env, baseline, space) = setup();
+        let out = parallel_independent_sweep(
+            &tester,
+            &mut env,
+            &baseline,
+            &space,
+            &[Knob::Thp, Knob::Shp],
+            Schedule::new(21).with_workers(NonZeroUsize::new(4).unwrap()),
+        )
+        .unwrap();
+        // Same winners the serial independent_sweep test pins down.
+        assert_eq!(out.best_config.shp_pages, 300);
+        assert_eq!(out.best_config.thp, softsku_archsim::ThpMode::AlwaysOn);
+        assert!(out.map.test_count() >= 7);
+    }
+
+    #[test]
+    fn fleet_tuner_tunes_multiple_services_concurrently() {
+        let tuner = FleetTuner::new(AbTestConfig::fast_test(), EnvConfig::fast_test(), 11)
+            .with_knobs(vec![Knob::Thp, Knob::CoreFrequency])
+            .with_workers(NonZeroUsize::new(4).unwrap());
+        let targets = [
+            (Microservice::Web, PlatformKind::Skylake18),
+            (Microservice::Cache2, PlatformKind::Skylake18),
+        ];
+        let fleet = tuner.tune(&targets).unwrap();
+        assert_eq!(fleet.services.len(), 2);
+        assert!(fleet.test_count() > 0);
+        assert!(fleet.wall_s > 0.0);
+        for s in &fleet.services {
+            assert!(s.outcome.map.test_count() > 0, "{}", s.service);
+            assert!(s.sim_time_s > 0.0);
+            let entity = format!("{}@{}", s.service, s.platform);
+            let key = SeriesKey::new(&entity, "tune.wall_s");
+            assert_eq!(fleet.ods.len(&key), s.outcome.map.test_count());
+        }
+        let rendered = fleet.render();
+        assert!(rendered.contains("fleet tuning"));
+        assert!(rendered.contains("Web"));
+    }
+}

@@ -22,7 +22,13 @@ pub struct SearchOutcome {
     pub map: DesignSpaceMap,
     /// The composed best configuration.
     pub best_config: ServerConfig,
-    /// Per-knob winning settings actually applied.
+    /// Per-knob winning settings actually applied. The `f64` is always a
+    /// gain relative to the *original baseline*: the measured per-knob gain
+    /// for the independent sweep, the joint-configuration gain for the
+    /// exhaustive sweep, and the cumulative gain of the accepted
+    /// configuration for hill climbing (each step measures against the
+    /// then-current config; the cumulative product is reported so the three
+    /// strategies' numbers are comparable).
     pub selected: Vec<(Knob, KnobSetting, f64)>,
 }
 
@@ -106,10 +112,11 @@ pub fn exhaustive_sweep(
                 break 'outer;
             }
             tested += 1;
-            // Measure the joint configuration via a synthetic "setting":
-            // apply it wholesale to arm B through the last knob's setting
-            // record (the map stores per-knob entries; joint entries are
-            // recorded under each constituent knob).
+            // Measure the joint configuration: apply it wholesale to arm B,
+            // labelled by the last knob's setting for display. The result is
+            // recorded in the map's dedicated joint ledger with *all*
+            // constituent settings, so no single knob is credited with the
+            // joint gain (per-knob `best_setting` stays honest).
             let result = run_joint(
                 tester,
                 env,
@@ -128,7 +135,7 @@ pub fn exhaustive_sweep(
                     best = Some((config.clone(), sel, gain));
                 }
             }
-            map.record(result);
+            map.record_joint(settings.clone(), result);
         }
         // Advance the mixed-radix counter.
         let mut i = 0;
@@ -174,6 +181,10 @@ pub fn hill_climb(
     let mut map = DesignSpaceMap::new();
     let mut current = baseline.clone();
     let mut selected: Vec<(Knob, KnobSetting, f64)> = Vec::new();
+    // Each step's A/B test measures against the *current* config; the
+    // cumulative product converts step gains into gains vs. the original
+    // baseline, matching the `selected` semantics of the other strategies.
+    let mut cumulative_factor = 1.0f64;
 
     for _ in 0..max_steps {
         let mut best_move: Option<(KnobSetting, f64)> = None;
@@ -196,9 +207,12 @@ pub fn hill_climb(
                 setting
                     .apply(&mut current)
                     .expect("previously validated move");
-                // Replace any earlier selection of the same knob.
+                cumulative_factor *= 1.0 + gain;
+                // Replace any earlier selection of the same knob; the stored
+                // gain is the cumulative gain vs. the original baseline at
+                // the time this move was accepted.
                 selected.retain(|(k, _, _)| *k != setting.knob());
-                selected.push((setting.knob(), setting, gain));
+                selected.push((setting.knob(), setting, cumulative_factor - 1.0));
             }
             None => break,
         }
@@ -211,8 +225,8 @@ pub fn hill_climb(
 }
 
 /// Composes per-knob winners onto the baseline (the independent strategy's
-/// additive assumption).
-fn compose(
+/// additive assumption). Shared with the parallel scheduler.
+pub(crate) fn compose(
     baseline: &ServerConfig,
     map: &DesignSpaceMap,
     knobs: &[Knob],
@@ -308,5 +322,89 @@ mod tests {
         let (tester, mut env, baseline, space) = setup();
         let out = exhaustive_sweep(&tester, &mut env, &baseline, &space, &[Knob::Thp], 2).unwrap();
         assert!(out.map.test_count() <= 2);
+    }
+
+    #[test]
+    fn exhaustive_records_joint_results_under_every_constituent_knob() {
+        let (tester, mut env, baseline, space) = setup();
+        let out = exhaustive_sweep(
+            &tester,
+            &mut env,
+            &baseline,
+            &space,
+            &[Knob::Thp, Knob::Shp],
+            8,
+        )
+        .unwrap();
+        let joints = out.map.joint_results();
+        assert!(!joints.is_empty(), "exhaustive sweep must record results");
+        for j in joints {
+            assert_eq!(
+                j.settings.len(),
+                2,
+                "every joint entry carries all constituent settings"
+            );
+            assert_eq!(j.settings[0].knob(), Knob::Thp);
+            assert_eq!(j.settings[1].knob(), Knob::Shp);
+        }
+        // Regression (the old code recorded the joint result under the
+        // *last* knob only): no single knob may claim a joint gain.
+        assert!(out.map.best_setting(Knob::Thp).is_none());
+        assert!(out.map.best_setting(Knob::Shp).is_none());
+        assert_eq!(out.map.knobs().count(), 0);
+        assert_eq!(out.map.test_count(), joints.len());
+        // The winner reported by the sweep is the joint-ledger winner.
+        if let Some((best, gain)) = out.map.best_joint() {
+            let sel_gain = out.selected.first().expect("winner selected").2;
+            assert!((gain - sel_gain).abs() < 1e-12);
+            let mut cfg = baseline.clone();
+            for s in &best.settings {
+                s.apply(&mut cfg).unwrap();
+            }
+            assert_eq!(cfg, out.best_config);
+        }
+    }
+
+    #[test]
+    fn hill_climb_reports_cumulative_gain_vs_original_baseline() {
+        let (tester, mut env, baseline, space) = setup();
+        let out = hill_climb(
+            &tester,
+            &mut env,
+            &baseline,
+            &space,
+            &[Knob::Thp, Knob::Shp],
+            2,
+        )
+        .unwrap();
+        assert_eq!(
+            out.selected.len(),
+            2,
+            "two-step climb accepts two distinct knobs: {:?}",
+            out.selected
+        );
+        let first = out.selected[0].2;
+        let last = out.selected[1].2;
+        assert!(first > 0.0 && last > 0.0);
+        assert!(
+            last > first,
+            "cumulative gain grows across accepted steps: {first} then {last}"
+        );
+        // Cross-check against ground truth: the last accepted move's stored
+        // gain is the best_config's true gain vs. the original baseline
+        // (within A/B measurement noise) — not the step-2 marginal, which is
+        // several points smaller.
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let mut base_srv =
+            softsku_cluster::SimServer::with_window(profile.clone(), baseline.clone(), 21, 60_000)
+                .unwrap();
+        let mut best_srv =
+            softsku_cluster::SimServer::with_window(profile, out.best_config.clone(), 21, 60_000)
+                .unwrap();
+        let true_gain = best_srv.mips(1.0).unwrap() / base_srv.mips(1.0).unwrap() - 1.0;
+        assert!(
+            (last - true_gain).abs() < 0.05,
+            "cumulative {last:+.4} vs true {true_gain:+.4}"
+        );
     }
 }

@@ -319,7 +319,10 @@ impl Engine {
             data_huge_fraction: policy.huge_data_fraction,
         };
         let mut gen = TraceGenerator::new(spec, huge_mix, self.seed);
-        let mut rng = rand_for(self.seed ^ 0xBEEF);
+        let mut rng = rand_for(softsku_telemetry::stream_seed(
+            self.seed,
+            softsku_telemetry::StreamFamily::EngineSampling,
+        ));
 
         // Context-switch injection interval (instructions); uses a nominal
         // IPC guess of 1 — only the *pollution placement* depends on it, the

@@ -53,8 +53,12 @@ impl RankList {
             nodes: Vec::new(),
             free: Vec::new(),
             root: NIL,
-            // splitmix64 state; avoid the all-zero fixed point.
-            rng_state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            // The RankPriorities mask doubles as the splitmix64 increment,
+            // keeping the state away from the all-zero fixed point.
+            rng_state: softsku_telemetry::stream_seed(
+                seed,
+                softsku_telemetry::StreamFamily::RankPriorities,
+            ),
         }
     }
 
@@ -104,7 +108,8 @@ impl RankList {
     /// shared pre-warmed template so that subsequent inserts differ across
     /// instances.
     pub fn reseed(&mut self, seed: u64) {
-        self.rng_state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        self.rng_state =
+            softsku_telemetry::stream_seed(seed, softsku_telemetry::StreamFamily::RankPriorities);
     }
 
     /// Number of stored elements.

@@ -13,6 +13,7 @@ use crate::reuse::ReuseDistanceDist;
 use crate::stream::StreamSpec;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use softsku_telemetry::streams::{StreamFamily, StreamRegistry};
 
 /// Maps sampled reuse distances to concrete line/page ids via an LRU stack.
 #[derive(Debug, Clone)]
@@ -225,13 +226,32 @@ impl TraceGenerator {
         let data_2m = spec
             .data_page_reuse
             .compacted(spec.pages.data_compaction.max(1.0));
+        let mut streams = StreamRegistry::new(seed);
         TraceGenerator {
-            code_lines: StackMapper::new(spec.code_reuse.clone(), seed ^ 0x1),
-            data_lines: StackMapper::new(spec.data_reuse.clone(), seed ^ 0x2),
-            code_pages_4k: StackMapper::new(spec.code_page_reuse.clone(), seed ^ 0x3),
-            data_pages_4k: StackMapper::new(spec.data_page_reuse.clone(), seed ^ 0x4),
-            code_pages_2m: StackMapper::new(code_2m, seed ^ 0x5),
-            data_pages_2m: StackMapper::new(data_2m, seed ^ 0x6),
+            code_lines: StackMapper::new(
+                spec.code_reuse.clone(),
+                streams.derive(StreamFamily::TraceCodeLines),
+            ),
+            data_lines: StackMapper::new(
+                spec.data_reuse.clone(),
+                streams.derive(StreamFamily::TraceDataLines),
+            ),
+            code_pages_4k: StackMapper::new(
+                spec.code_page_reuse.clone(),
+                streams.derive(StreamFamily::TraceCodePages4k),
+            ),
+            data_pages_4k: StackMapper::new(
+                spec.data_page_reuse.clone(),
+                streams.derive(StreamFamily::TraceDataPages4k),
+            ),
+            code_pages_2m: StackMapper::new(
+                code_2m,
+                streams.derive(StreamFamily::TraceCodePages2m),
+            ),
+            data_pages_2m: StackMapper::new(
+                data_2m,
+                streams.derive(StreamFamily::TraceDataPages2m),
+            ),
             huge,
             thresholds: [t1, t2, t3, t4],
             rng: SmallRng::seed_from_u64(seed),

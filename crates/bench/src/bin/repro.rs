@@ -34,6 +34,8 @@ fn main() {
         out
     };
     for id in selected {
+        // detlint::allow(wall_clock): harness-side timing of each experiment;
+        // printed as a progress note, never fed into a simulated result.
         let start = std::time::Instant::now();
         let output = run_experiment(id, full);
         println!("==================== {id} ====================");

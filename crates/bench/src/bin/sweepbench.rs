@@ -52,6 +52,8 @@ fn single_service(knobs: &[Knob], worker_counts: &[usize]) -> Result<(), UskuErr
 
     let (tester, mut env, space) = setup(service, platform)?;
     let baseline = env.profile().production_config.clone();
+    // detlint::allow(wall_clock): benchmark harness measures its own speed;
+    // wall time is the quantity under test, not a simulated result.
     let t0 = Instant::now();
     let serial = independent_sweep(&tester, &mut env, &baseline, &space, knobs)?;
     let serial_s = t0.elapsed().as_secs_f64();
@@ -64,6 +66,7 @@ fn single_service(knobs: &[Knob], worker_counts: &[usize]) -> Result<(), UskuErr
 
     for &n in worker_counts {
         let (tester, mut env, space) = setup(service, platform)?;
+        // detlint::allow(wall_clock): benchmark harness measures its own speed.
         let t0 = Instant::now();
         let par = parallel_independent_sweep(
             &tester,
@@ -104,6 +107,7 @@ fn fleet(
     let sequential = FleetTuner::new(AbTestConfig::fast_test(), EnvConfig::fast_test(), BASE_SEED)
         .with_knobs(knobs.to_vec())
         .with_workers(workers(1));
+    // detlint::allow(wall_clock): benchmark harness measures its own speed.
     let t0 = Instant::now();
     let mut seq_tests = 0usize;
     for &target in targets {
@@ -120,6 +124,7 @@ fn fleet(
     let tuner = FleetTuner::new(AbTestConfig::fast_test(), EnvConfig::fast_test(), BASE_SEED)
         .with_knobs(knobs.to_vec())
         .with_workers(workers(pool));
+    // detlint::allow(wall_clock): benchmark harness measures its own speed.
     let t1 = Instant::now();
     let fleet = tuner.tune(targets)?;
     let par_s = t1.elapsed().as_secs_f64();

@@ -12,6 +12,7 @@
 
 use crate::error::ClusterError;
 use softsku_archsim::engine::{Engine, ServerConfig};
+use softsku_telemetry::streams::{stream_seed, StreamFamily};
 use softsku_workloads::{Microservice, WorkloadProfile};
 
 /// Result of co-locating two services on one server.
@@ -106,7 +107,7 @@ impl ColocatedPair {
         let engine_b = Engine::new(
             cfg_b.clone(),
             self.profile_b.stream.clone(),
-            self.seed ^ 0xC0,
+            stream_seed(self.seed, StreamFamily::ColocationPairB),
         )?;
 
         // Solo baselines: same core slice, full LLC, no background traffic.
@@ -205,6 +206,8 @@ pub fn best_pairing(
             best = Some(candidate);
         }
     }
+    // detlint::allow(panic_path): the loop above evaluates a fixed, non-empty
+    // set of splits, so `best` is always populated.
     Ok(best.expect("three candidate splits evaluated"))
 }
 

@@ -15,6 +15,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use softsku_archsim::engine::ServerConfig;
 use softsku_telemetry::emon::{EventSample, EventSet, MultiplexedSampler, SamplerConfig};
+use softsku_telemetry::streams::{StreamFamily, StreamRegistry};
 use softsku_telemetry::{Ods, SeriesKey};
 use softsku_workloads::loadgen::{CodeEvolution, LoadGenerator};
 use softsku_workloads::WorkloadProfile;
@@ -167,21 +168,32 @@ impl AbEnvironment {
     /// Builds an environment around already-constructed arms, seeding every
     /// noise/hazard stream from `seed` exactly as [`AbEnvironment::new`]
     /// does.
+    ///
+    /// Both construction paths ([`AbEnvironment::new`] and
+    /// [`AbEnvironment::fork`]) funnel through this one derivation scope, so
+    /// new and fork necessarily derive identical stream families — the
+    /// parity the fork-replay determinism rests on. The [`StreamRegistry`]
+    /// additionally panics (debug builds) if a family were ever derived
+    /// twice or two families collided.
     fn assemble(arm_a: SimServer, arm_b: SimServer, config: EnvConfig, seed: u64) -> Self {
+        let mut streams = StreamRegistry::new(seed);
         let sampler_cfg = SamplerConfig {
             programmable_slots: 4,
             base_noise_rel: config.measurement_noise,
-            seed: seed ^ 0xE301,
+            seed: streams.derive(StreamFamily::EnvSamplerA),
         };
+        // detlint::allow(panic_path): the event set is a static literal; its
+        // validity is covered by the emon unit tests.
         let sampler_a =
             MultiplexedSampler::new(emon_events(), sampler_cfg).expect("static event set is valid");
         let sampler_b = MultiplexedSampler::new(
             emon_events(),
             SamplerConfig {
-                seed: seed ^ 0xE302,
+                seed: streams.derive(StreamFamily::EnvSamplerB),
                 ..sampler_cfg
             },
         )
+        // detlint::allow(panic_path): same static event set as arm A.
         .expect("static event set is valid");
         AbEnvironment {
             arm_a,
@@ -191,16 +203,20 @@ impl AbEnvironment {
                 config.diurnal_amplitude,
                 86_400.0,
                 config.load_noise,
-                seed ^ 0x10AD,
+                streams.derive(StreamFamily::EnvCommonLoad),
             ),
-            evolution: CodeEvolution::new(config.pushes_per_hour, 0.01, seed ^ 0xC0DE),
+            evolution: CodeEvolution::new(
+                config.pushes_per_hour,
+                0.01,
+                streams.derive(StreamFamily::EnvCodePush),
+            ),
             config,
             time_s: 0.0,
-            rng: SmallRng::seed_from_u64(seed ^ 0xE940),
+            rng: SmallRng::seed_from_u64(streams.derive(StreamFamily::EnvArmNoise)),
             code_pushes_seen: 0,
             sampler_a,
             sampler_b,
-            hazards: HazardSchedule::new(config.hazards, seed ^ 0x4A2D),
+            hazards: HazardSchedule::new(config.hazards, streams.derive(StreamFamily::EnvHazards)),
             ods: Ods::new(),
             last_load: 1.0,
         }
@@ -423,7 +439,8 @@ impl AbEnvironment {
     /// `record_event("recovery", "arm_down")`.
     pub fn record_event(&mut self, entity: &str, metric: &str) {
         let key = SeriesKey::new(entity, metric);
-        // The clock is monotone, so the append cannot fail.
+        // detlint::allow(panic_path): the clock is monotone, so the ODS
+        // append cannot be out of order.
         self.ods
             .append(&key, self.time_s, 1.0)
             .expect("environment clock is monotone");
@@ -464,6 +481,23 @@ mod tests {
     fn env() -> AbEnvironment {
         let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
         AbEnvironment::new(profile, EnvConfig::fast_test(), 11).unwrap()
+    }
+
+    #[test]
+    fn new_and_fork_derive_identical_stream_families() {
+        // Both construction paths funnel through `assemble`, so a fresh
+        // environment and a fork at the same seed must replay bit-identically
+        // — the family-parity guarantee the streams registry encodes. A
+        // family derived by one path but not the other would desynchronise
+        // every stream after it.
+        let mut fresh = env();
+        let mut forked = env().fork(11);
+        for _ in 0..50 {
+            let a = fresh.sample_pair().unwrap();
+            let b = forked.sample_pair().unwrap();
+            assert_eq!(a.a_mips.to_bits(), b.a_mips.to_bits());
+            assert_eq!(a.b_mips.to_bits(), b.b_mips.to_bits());
+        }
     }
 
     #[test]

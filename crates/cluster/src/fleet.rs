@@ -10,6 +10,7 @@
 use crate::error::ClusterError;
 use crate::server::SimServer;
 use softsku_archsim::engine::ServerConfig;
+use softsku_telemetry::streams::{StreamFamily, StreamRegistry};
 use softsku_telemetry::{Ods, SeriesKey};
 use softsku_workloads::loadgen::{CodeEvolution, LoadGenerator};
 use softsku_workloads::WorkloadProfile;
@@ -61,11 +62,23 @@ impl ValidationFleet {
         let baseline =
             SimServer::with_window(profile.clone(), baseline_config, seed, window_insns)?;
         let candidate = SimServer::with_window(profile, candidate_config, seed, window_insns)?;
+        // Historically the code-push stream was `seed ^ 0xBEEF` — the same
+        // derivation the engine (seeded with this very `seed` through the
+        // servers above) uses for its sampling stream, so the two streams
+        // drew identical sequences. The registry family breaks the tie and
+        // its mask table forbids reintroducing the alias.
+        let mut streams = StreamRegistry::new(seed);
         Ok(ValidationFleet {
             baseline,
             candidate,
-            load: LoadGenerator::new(0.85, 0.15, 86_400.0, 0.02, seed ^ 0x0D5),
-            evolution: CodeEvolution::new(0.25, 0.01, seed ^ 0xBEEF),
+            load: LoadGenerator::new(
+                0.85,
+                0.15,
+                86_400.0,
+                0.02,
+                streams.derive(StreamFamily::FleetLoad),
+            ),
+            evolution: CodeEvolution::new(0.25, 0.01, streams.derive(StreamFamily::FleetCodePush)),
             ods: Ods::new(),
             time_s: 0.0,
             tick_s: tick_s.max(1.0),
@@ -93,18 +106,24 @@ impl ValidationFleet {
             let load = self.load.load_at(self.time_s);
             let bq = self.baseline.qps(load)?;
             let cq = self.candidate.qps(load)?;
+            // detlint::allow(panic_path): fleet time only moves forward, so
+            // the ODS append cannot be out of order.
             self.ods
                 .append(&base_key, self.time_s, bq)
                 .expect("monotone fleet time");
+            // detlint::allow(panic_path): same monotone fleet time as above.
             self.ods
                 .append(&cand_key, self.time_s, cq)
                 .expect("monotone fleet time");
         }
         let start = end - duration_s;
+        // detlint::allow(panic_path): the loop above appended at least one
+        // sample to this series inside the queried window.
         let baseline_qps = self
             .ods
             .mean_in(&base_key, start, end + 1.0)
             .expect("series populated above");
+        // detlint::allow(panic_path): same population guarantee as above.
         let candidate_qps = self
             .ods
             .mean_in(&cand_key, start, end + 1.0)

@@ -19,6 +19,7 @@
 use crate::env::Arm;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use softsku_telemetry::streams::{StreamFamily, StreamRegistry};
 
 /// Hazard-injection knobs, carried inside
 /// [`EnvConfig`](crate::env::EnvConfig).
@@ -208,16 +209,17 @@ impl HazardSchedule {
     /// from it.
     pub fn new(config: HazardConfig, seed: u64) -> Self {
         let config = config.validated();
-        let mut crash_rng = SmallRng::seed_from_u64(seed ^ 0xC8A5_0001);
-        let mut spike_rng = SmallRng::seed_from_u64(seed ^ 0x5B1C_0003);
+        let mut streams = StreamRegistry::new(seed);
+        let mut crash_rng = SmallRng::seed_from_u64(streams.derive(StreamFamily::HazardCrash));
+        let mut spike_rng = SmallRng::seed_from_u64(streams.derive(StreamFamily::HazardSpike));
         let next_crash_t = sample_gap(&mut crash_rng, config.crash_rate_per_hour);
         let next_spike_t = sample_gap(&mut spike_rng, config.spike_rate_per_hour);
         HazardSchedule {
             config,
             crash_rng,
-            sample_rng: SmallRng::seed_from_u64(seed ^ 0x7E1E_0002),
+            sample_rng: SmallRng::seed_from_u64(streams.derive(StreamFamily::HazardTelemetry)),
             spike_rng,
-            knob_rng: SmallRng::seed_from_u64(seed ^ 0x6B0B_0004),
+            knob_rng: SmallRng::seed_from_u64(streams.derive(StreamFamily::HazardKnob)),
             next_crash_t,
             down_until: [f64::NEG_INFINITY; 2],
             next_spike_t,

@@ -12,6 +12,7 @@
 
 use crate::error::ClusterError;
 use softsku_archsim::engine::{Engine, ServerConfig, WindowReport};
+use softsku_telemetry::streams::{stream_seed, StreamFamily};
 use softsku_workloads::loadgen::CodePush;
 use softsku_workloads::queuesim::{simulate_queue, ServiceDist, TailLatency};
 use softsku_workloads::request::mmc_wait_factor;
@@ -209,7 +210,7 @@ impl SimServer {
                 cv2: 2.0,
             },
             20_000,
-            self.seed ^ 0x7A11,
+            stream_seed(self.seed, StreamFamily::ServerQueue),
         );
         // Blocked time (downstream I/O) adds on top of the local sojourn.
         Ok(TailLatency {
@@ -291,6 +292,8 @@ impl SimServer {
                         scope.spawn(move || eval(g * profile.peak_utilization))
                     })
                     .collect();
+                // detlint::allow(panic_path): join() only fails if the worker
+                // panicked; re-raising that panic is the correct response.
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("evaluation thread panicked"))
@@ -309,10 +312,14 @@ impl SimServer {
                 key,
                 LoadCurve {
                     mips,
+                    // detlint::allow(panic_path): LOAD_GRID has a fixed,
+                    // non-zero length, so the last iteration always sets it.
                     peak_report: peak_report.expect("grid is non-empty"),
                 },
             );
         }
+        // detlint::allow(panic_path): the entry was inserted two statements
+        // up under this very key.
         Ok(self.cache.get(&key).expect("inserted above"))
     }
 

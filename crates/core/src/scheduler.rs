@@ -33,6 +33,7 @@ use crate::search::{compose, SearchOutcome};
 use softsku_archsim::engine::ServerConfig;
 use softsku_cluster::{AbEnvironment, Arm, EnvConfig};
 use softsku_knobs::{Knob, KnobSetting, KnobSpace};
+use softsku_telemetry::streams::IdentitySeed;
 use softsku_telemetry::{Ods, SeriesKey};
 use softsku_workloads::{Microservice, PlatformKind};
 use std::num::NonZeroUsize;
@@ -40,54 +41,30 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// FNV-1a over a byte stream, the repo's stable hashing workhorse.
-struct Fnv(u64);
-
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
-        }
-    }
-
-    fn write_str(&mut self, s: &str) {
-        self.write(s.as_bytes());
-        self.write(&[0xFF]); // separator: "ab"+"c" must differ from "a"+"bc"
-    }
-}
-
 /// Derives the replica seed for one scheduled A/B test from the tuning base
 /// seed and the test's identity `(service, knob, setting)`.
 ///
 /// The derivation hashes the *display names* (stable, human-auditable)
-/// through FNV-1a, so the seed depends only on what is being tested — never
-/// on worker count, queue position, or completion order. Two sweeps over
-/// the same space with the same base seed replay bit-identically.
+/// through the seed-stream registry's [`IdentitySeed`] FNV-1a builder, so
+/// the seed depends only on what is being tested — never on worker count,
+/// queue position, or completion order. Two sweeps over the same space with
+/// the same base seed replay bit-identically.
 pub fn derive_seed(base: u64, service: &str, knob: Knob, setting_label: &str) -> u64 {
-    let mut h = Fnv::new();
-    h.write(&base.to_le_bytes());
-    h.write_str(service);
-    h.write_str(&knob.to_string());
-    h.write_str(setting_label);
-    h.0
+    IdentitySeed::new(base)
+        .field(service)
+        .field(&knob.to_string())
+        .field(setting_label)
+        .finish()
 }
 
 /// Seed for a joint (multi-knob) configuration: the same scheme folded over
 /// every constituent setting in sweep order.
 pub fn derive_joint_seed(base: u64, service: &str, settings: &[KnobSetting]) -> u64 {
-    let mut h = Fnv::new();
-    h.write(&base.to_le_bytes());
-    h.write_str(service);
+    let mut h = IdentitySeed::new(base).field(service);
     for s in settings {
-        h.write_str(&s.knob().to_string());
-        h.write_str(&s.to_string());
+        h = h.field(&s.knob().to_string()).field(&s.to_string());
     }
-    h.0
+    h.finish()
 }
 
 /// One schedulable A/B test of an independent sweep: a candidate setting
@@ -233,6 +210,8 @@ where
                 if i >= units.len() {
                     break;
                 }
+                // detlint::allow(wall_clock): tune.wall_s telemetry only —
+                // wall time is reported to ODS, never fed into a result.
                 let t0 = Instant::now();
                 let outcome = run_one(&units[i]).map(|(result, sim_time_s)| UnitRun {
                     result,
@@ -242,12 +221,16 @@ where
                 if outcome.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
+                // detlint::allow(panic_path): lock poisoning requires a prior
+                // worker panic; propagating it is the correct response.
                 slots.lock().expect("no panics hold the slot lock")[i] = Some(outcome);
             });
         }
     });
 
     let mut runs = Vec::with_capacity(units.len());
+    // detlint::allow(panic_path): scope guarantees every worker has joined;
+    // a poisoned mutex here means a worker already panicked.
     for slot in slots.into_inner().expect("workers joined") {
         match slot {
             Some(Ok(run)) => runs.push(run),
@@ -274,7 +257,11 @@ fn warm_baseline(proto: &mut AbEnvironment, baseline: &ServerConfig) {
 /// The number of workers to use when the caller does not care: one per
 /// available hardware thread.
 pub fn default_workers() -> NonZeroUsize {
-    std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(4).expect("4 > 0"))
+    const FALLBACK: NonZeroUsize = match NonZeroUsize::new(4) {
+        Some(n) => n,
+        None => NonZeroUsize::MIN,
+    };
+    std::thread::available_parallelism().unwrap_or(FALLBACK)
 }
 
 /// Scheduling parameters shared by the parallel sweeps: the base seed the
@@ -377,6 +364,8 @@ pub fn parallel_exhaustive_sweep(
         let mut env = proto.fork(unit.seed);
         let needs_reboot = unit.config.active_cores != baseline.active_cores
             || unit.config.shp_pages != baseline.shp_pages;
+        // detlint::allow(panic_path): plan_exhaustive emits only non-empty
+        // joint units; an empty one is a planner bug worth aborting on.
         let label = *unit.settings.last().expect("joint units are non-empty");
         let result = tester.run_config(&mut env, baseline, &unit.config, needs_reboot, label)?;
         Ok((result, env.time_s()))
@@ -390,6 +379,8 @@ pub fn parallel_exhaustive_sweep(
             let mut config = baseline.clone();
             let mut selected = Vec::with_capacity(joint.settings.len());
             for s in &joint.settings {
+                // detlint::allow(panic_path): every planned setting was
+                // validated against the same baseline when the plan was built.
                 s.apply(&mut config).expect("planned settings are valid");
                 selected.push((s.knob(), *s, gain));
             }
@@ -557,6 +548,8 @@ impl FleetTuner {
             unit: TestUnit,
         }
 
+        // detlint::allow(wall_clock): tune.wall_s telemetry only — reported
+        // to ODS for operators, never fed into a simulated result.
         let t0 = Instant::now();
         let mut prepared = Vec::with_capacity(targets.len());
         let mut plan: Vec<FleetUnit> = Vec::new();
@@ -618,12 +611,15 @@ impl FleetTuner {
                 idx as f64,
                 run.wall_s,
             )
+            // detlint::allow(panic_path): the per-target index increments
+            // monotonically, so the ODS append cannot be out of order.
             .expect("plan index is monotone per series");
             ods.append(
                 &SeriesKey::new(&entity, "tune.sim_s"),
                 idx as f64,
                 run.sim_time_s,
             )
+            // detlint::allow(panic_path): same monotone index as above.
             .expect("plan index is monotone per series");
             sim_time[fu.target_idx] += run.sim_time_s;
             wall[fu.target_idx] += run.wall_s;

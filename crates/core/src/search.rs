@@ -122,6 +122,8 @@ pub fn exhaustive_sweep(
                 env,
                 baseline,
                 &config,
+                // detlint::allow(panic_path): the caller pushes a setting
+                // before every recursive call, so the slice is non-empty.
                 *settings.last().expect("non-empty"),
             )?;
             if let Verdict::Better { gain } = result.verdict {
@@ -204,6 +206,8 @@ pub fn hill_climb(
         }
         match best_move {
             Some((setting, gain)) => {
+                // detlint::allow(panic_path): the move was applied to a clone
+                // of this very config when it was scored; apply cannot fail.
                 setting
                     .apply(&mut current)
                     .expect("previously validated move");

@@ -9,6 +9,7 @@ use crate::map::DesignSpaceMap;
 use crate::search::{exhaustive_sweep, hill_climb, independent_sweep, SearchOutcome};
 use softsku_cluster::{AbEnvironment, EnvConfig, ValidationOutcome};
 use softsku_knobs::{Knob, KnobSpace};
+use softsku_telemetry::streams::{stream_seed, StreamFamily};
 
 /// The A/B test configurator (Fig. 13): resolves the input file into the
 /// concrete sweep plan — which knobs, which candidates, which strategy.
@@ -186,7 +187,7 @@ impl Usku {
                 &production,
                 self.config.validate_days * 86_400.0,
                 self.config.env.window_insns,
-                self.input.seed ^ 0xF1EE7,
+                stream_seed(self.input.seed, StreamFamily::UskuValidation),
             )?)
         } else {
             None

@@ -1,0 +1,26 @@
+//! Fixture: allow-escape semantics (trailing, standalone, stale, malformed).
+
+pub fn trailing() {
+    let _ = std::time::Instant::now(); // detlint::allow(wall_clock): trailing escape
+}
+
+pub fn standalone() {
+    // detlint::allow(wall_clock): covers the wrapped statement below
+    let _t = std::time::Instant::now()
+        .elapsed();
+}
+
+pub fn stale() {
+    // detlint::allow(wall_clock): nothing below violates — must be flagged
+    let _x = 1;
+}
+
+pub fn bad() {
+    // detlint::allow(frobnicate): unknown rule
+    let _y = 2;
+}
+
+pub fn missing_reason() {
+    // detlint::allow(wall_clock)
+    let _ = std::time::Instant::now();
+}

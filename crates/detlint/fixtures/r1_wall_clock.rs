@@ -1,0 +1,27 @@
+//! Fixture: wall-clock and ambient-entropy violations.
+
+pub fn timing() {
+    let t0 = std::time::Instant::now();
+    let _ = t0;
+}
+
+pub fn epoch() {
+    let _ = std::time::SystemTime::now();
+}
+
+pub fn entropy() {
+    let _ = rand::thread_rng();
+}
+
+pub fn allowed() {
+    // detlint::allow(wall_clock): fixture — escape must suppress this one.
+    let _ = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timed() {
+        let _ = std::time::Instant::now();
+    }
+}

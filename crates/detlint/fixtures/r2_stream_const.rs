@@ -1,0 +1,13 @@
+//! Fixture: raw seed-stream constants bypassing the registry.
+
+pub fn derive(seed: u64) -> u64 {
+    seed ^ 0xBEEF
+}
+
+pub fn derive_other(base_seed: u64) -> u64 {
+    0xBEEF ^ base_seed
+}
+
+pub fn hardcoded_seed() -> SmallRng {
+    SmallRng::seed_from_u64(0x1234)
+}

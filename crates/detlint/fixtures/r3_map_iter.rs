@@ -1,0 +1,28 @@
+//! Fixture: iteration over unordered containers.
+use std::collections::HashMap;
+
+pub struct Stats {
+    counts: HashMap<String, u64>,
+}
+
+impl Stats {
+    pub fn sum(&self) -> u64 {
+        let mut total = 0;
+        for (_k, v) in self.counts.iter() {
+            total += v;
+        }
+        total
+    }
+
+    pub fn lookup(&self, k: &str) -> Option<&u64> {
+        self.counts.get(k)
+    }
+}
+
+pub fn local() {
+    let mut set = std::collections::HashSet::new();
+    set.insert(1);
+    for v in &set {
+        let _ = v;
+    }
+}

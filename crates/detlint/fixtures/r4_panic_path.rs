@@ -1,0 +1,17 @@
+//! Fixture: panic-capable calls in pipeline library code.
+
+pub fn risky(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn message(v: Option<u32>) -> u32 {
+    v.expect("fixture")
+}
+
+pub fn boom() {
+    panic!("fixture");
+}
+
+pub fn fallback(v: Option<u32>) -> u32 {
+    v.unwrap_or(7)
+}

@@ -1,0 +1,10 @@
+//! Fixture: truncating casts inside seed derivations.
+
+pub fn derive_seed(base: u64, lane: u64) -> u64 {
+    let low = base as u32;
+    u64::from(low) ^ lane
+}
+
+pub fn widen_ok(x: u32) -> u64 {
+    x as u64
+}

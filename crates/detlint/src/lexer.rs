@@ -1,0 +1,377 @@
+//! A minimal hand-rolled Rust lexer: splits a source file into per-line
+//! *code* and *comment* channels.
+//!
+//! The rule engine works line-by-line on the code channel, where comment
+//! text and string/char-literal *contents* have been blanked out (replaced
+//! by spaces, preserving byte columns), so `"Instant::now"` inside an error
+//! message or a doc comment can never trigger a rule. The comment channel
+//! carries the raw comment text of each line, which is where
+//! `detlint::allow(...)` escapes live.
+//!
+//! Handled syntax: `//` line comments (incl. doc comments), nested `/* */`
+//! block comments, `"…"` strings with escapes, raw strings `r"…"` /
+//! `r#"…"#` (any number of hashes, plus `b`-prefixed forms), char literals
+//! (escape-aware), and the char-literal vs. lifetime ambiguity (`'a'` vs
+//! `&'a str`).
+
+/// One source line, split into channels.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code text with comments removed and literal contents blanked.
+    pub code: String,
+    /// Raw comment text appearing on this line (line + block comments).
+    pub comment: String,
+}
+
+enum Mode {
+    Code,
+    LineComment,
+    /// Nested block comment; payload is the nesting depth.
+    BlockComment(u32),
+    /// Regular string literal.
+    Str,
+    /// Raw string literal; payload is the number of `#`s in the delimiter.
+    RawStr(u32),
+}
+
+/// Splits `src` into lines with code and comment channels.
+pub fn split_channels(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    // Pushes a char to the right channel of the current line.
+    macro_rules! emit {
+        (code $c:expr) => {
+            lines.last_mut().unwrap().code.push($c)
+        };
+        (comment $c:expr) => {
+            lines.last_mut().unwrap().comment.push($c)
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if let Mode::LineComment = mode {
+                mode = Mode::Code;
+            }
+            lines.push(Line::default());
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    mode = Mode::LineComment;
+                    emit!(comment '/');
+                    emit!(comment '/');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(1);
+                    emit!(comment '/');
+                    emit!(comment '*');
+                    i += 2;
+                } else if c == '"' {
+                    emit!(code '"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if is_raw_string_start(&chars, i) {
+                    // `r`/`br` + hashes + quote; blank nothing yet — the
+                    // prefix itself is code.
+                    let mut j = i;
+                    while chars[j] != '"' {
+                        emit!(code chars[j]);
+                        j += 1;
+                    }
+                    emit!(code '"');
+                    let hashes = chars[i..j].iter().filter(|&&h| h == '#').count() as u32;
+                    mode = Mode::RawStr(hashes);
+                    i = j + 1;
+                } else if c == '\'' {
+                    match char_literal_end(&chars, i) {
+                        Some(end) => {
+                            // Blank the contents, keep the quotes.
+                            emit!(code '\'');
+                            for _ in i + 1..end {
+                                emit!(code ' ');
+                            }
+                            emit!(code '\'');
+                            i = end + 1;
+                        }
+                        None => {
+                            // A lifetime (or stray quote): keep as code.
+                            emit!(code '\'');
+                            i += 1;
+                        }
+                    }
+                } else {
+                    emit!(code c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                emit!(comment c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    emit!(comment '*');
+                    emit!(comment '/');
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    emit!(comment '/');
+                    emit!(comment '*');
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    emit!(comment c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Skip the escaped char (may be the closing quote).
+                    emit!(code ' ');
+                    if chars.get(i + 1).is_some() {
+                        emit!(code ' ');
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    emit!(code '"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    emit!(code ' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    emit!(code '"');
+                    for _ in 0..hashes {
+                        emit!(code '#');
+                    }
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    emit!(code ' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines
+}
+
+/// Whether position `i` starts a raw-string prefix: `r` or `br`, then zero
+/// or more `#`, then `"` — and the `r` is not the tail of an identifier.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Whether the `"` at `i` is followed by `hashes` `#` characters.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If the `'` at position `i` opens a char literal, returns the index of
+/// its closing quote; returns `None` for lifetimes.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    let next = chars.get(i + 1)?;
+    if *next == '\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 2;
+        while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+            j += 1;
+        }
+        return (chars.get(j) == Some(&'\'')).then_some(j);
+    }
+    // `'x'` is a char literal; `'a` followed by anything else (ident char,
+    // `>`, `,`, …) is a lifetime.
+    if chars.get(i + 2) == Some(&'\'') && *next != '\'' {
+        return Some(i + 2);
+    }
+    None
+}
+
+/// Iterator-style tokens over a blanked code line: identifiers, integer
+/// literals, and single punctuation characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tok<'a> {
+    /// Identifier or keyword.
+    Ident(&'a str),
+    /// Integer (or float) literal text.
+    Num(&'a str),
+    /// One punctuation char.
+    Punct(char),
+}
+
+/// Tokenizes one blanked code line.
+pub fn tokenize(code: &str) -> Vec<Tok<'_>> {
+    let mut toks = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && {
+                let d = bytes[i] as char;
+                d.is_ascii_alphanumeric() || d == '_'
+            } {
+                i += 1;
+            }
+            toks.push(Tok::Ident(&code[start..i]));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && {
+                let d = bytes[i] as char;
+                d.is_ascii_alphanumeric() || d == '_' || d == '.'
+            } {
+                i += 1;
+            }
+            toks.push(Tok::Num(&code[start..i]));
+        } else {
+            toks.push(Tok::Punct(c));
+            i += 1;
+        }
+    }
+    toks
+}
+
+/// Parses an integer literal (decimal, `0x`, `0o`, `0b`, `_` separators,
+/// optional type suffix) to its value.
+pub fn parse_int(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    let (radix, digits) = if let Some(rest) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X"))
+    {
+        (16, rest)
+    } else if let Some(rest) = t.strip_prefix("0o") {
+        (8, rest)
+    } else if let Some(rest) = t.strip_prefix("0b") {
+        (2, rest)
+    } else {
+        (10, t.as_str())
+    };
+    // Strip an integer type suffix if present (u8…u64, usize, i…).
+    let digits = digits
+        .find(|c: char| !c.is_digit(radix))
+        .map_or(digits, |pos| &digits[..pos]);
+    if digits.is_empty() {
+        return None;
+    }
+    u64::from_str_radix(digits, radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        split_channels(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped() {
+        let c = codes("let x = 1; // Instant::now()\nlet y = 2;");
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("let x = 1;"));
+        assert_eq!(c[1], "let y = 2;");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let c = codes("a /* x /* y */ z */ b\n/* open\nstill */ tail");
+        assert_eq!(c[0].split_whitespace().collect::<Vec<_>>(), ["a", "b"]);
+        assert_eq!(c[1].trim(), "");
+        assert_eq!(c[2].trim(), "tail");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = codes(r#"let s = "Instant::now // not a comment"; next"#);
+        assert!(!c[0].contains("Instant"));
+        assert!(!c[0].contains("//"));
+        assert!(c[0].contains("next"));
+        assert!(c[0].contains('"'));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_close_strings() {
+        let c = codes(r#"let s = "a\"b"; let t = 1;"#);
+        assert!(c[0].contains("let t = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let c = codes(r##"let s = r#"thread_rng " inner"#; after"##);
+        assert!(!c[0].contains("thread_rng"));
+        assert!(c[0].contains("after"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let c = codes("let c = 'x'; fn f<'a>(s: &'a str) {}");
+        assert!(!c[0].contains('x'));
+        assert!(c[0].contains("'a"), "lifetime must remain: {}", c[0]);
+        let c = codes(r"let nl = '\n'; let q = '\''; done");
+        assert!(c[0].contains("done"));
+    }
+
+    #[test]
+    fn comments_channel_captures_allow_text() {
+        let lines = split_channels("x(); // detlint::allow(wall_clock): bench\n");
+        assert!(lines[0].comment.contains("detlint::allow(wall_clock)"));
+    }
+
+    #[test]
+    fn parse_int_handles_radices_and_suffixes() {
+        assert_eq!(parse_int("0xBEEF"), Some(0xBEEF));
+        assert_eq!(parse_int("0xC8A5_0001"), Some(0xC8A5_0001));
+        assert_eq!(parse_int("42u64"), Some(42));
+        assert_eq!(parse_int("0b101"), Some(5));
+        assert_eq!(parse_int("10"), Some(10));
+    }
+
+    #[test]
+    fn tokenizer_splits_idents_nums_punct() {
+        let toks = tokenize("seed ^ 0xBEEF;");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("seed"),
+                Tok::Punct('^'),
+                Tok::Num("0xBEEF"),
+                Tok::Punct(';'),
+            ]
+        );
+    }
+}

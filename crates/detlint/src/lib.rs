@@ -1,0 +1,743 @@
+//! detlint: the workspace determinism linter.
+//!
+//! The whole repository's claim to reproducibility rests on one contract
+//! (DESIGN.md §3): every simulated result is a pure function of
+//! `(config, seed)`. The compiler cannot check that contract — nothing in
+//! the type system stops a stray `Instant::now()` or an ad-hoc
+//! `seed ^ 0xBEEF` from leaking ambient state into a pinned result. detlint
+//! closes that gap with a source-level pass over the workspace's own code:
+//! a hand-rolled lexer (no external deps, per the vendored/offline policy)
+//! feeding a line-level rule engine.
+//!
+//! # Rules
+//!
+//! | id | what it forbids |
+//! |----|-----------------|
+//! | `wall_clock`   | ambient nondeterminism: `Instant::now`, `SystemTime`, `thread_rng`, `rand::random`, `RandomState`, `from_entropy` |
+//! | `stream_const` | raw seed-stream derivation (`seed ^ 0x…`, literal `seed_from_u64`) outside `softsku_telemetry::streams` |
+//! | `map_iter`     | iteration over `HashMap`/`HashSet` (unordered) in non-test code |
+//! | `panic_path`   | `unwrap`/`expect`/`panic!`-family in library code of the pipeline crates (core, cluster, knobs) |
+//! | `seed_trunc`   | truncating `as` casts inside seed/hash-derivation functions |
+//!
+//! # Escapes
+//!
+//! A finding is suppressed by a comment of the form
+//!
+//! ```text
+//! // detlint::allow(<rule>): <reason>
+//! ```
+//!
+//! The reason is mandatory. A trailing allow (code and comment on the same
+//! line) covers only its own line; a standalone allow covers the following
+//! statement — every line up to and including the first whose code ends
+//! with `;`, `{` or `}`. An allow that suppresses nothing is itself a
+//! finding (`unused_allow`), so escapes cannot rot: the clean-audit gate in
+//! CI fails when a rule violation is fixed but its escape is left behind.
+//!
+//! Test code (files under a `tests`/`benches` path component, `#[test]`
+//! functions, `#[cfg(test)]` items) is exempt from the rules: tests may
+//! measure wall time or hash-order-iterate freely, because their outputs
+//! are assertions, not simulated results.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+
+use lexer::{parse_int, split_channels, tokenize, Tok};
+
+/// Rule: ambient nondeterminism (wall clock, entropy).
+pub const RULE_WALL_CLOCK: &str = "wall_clock";
+/// Rule: raw seed-stream constant outside the telemetry registry.
+pub const RULE_STREAM_CONST: &str = "stream_const";
+/// Rule: iteration over an unordered map/set.
+pub const RULE_MAP_ITER: &str = "map_iter";
+/// Rule: panic-capable call in pipeline library code.
+pub const RULE_PANIC_PATH: &str = "panic_path";
+/// Rule: truncating cast inside a seed/hash derivation.
+pub const RULE_SEED_TRUNC: &str = "seed_trunc";
+/// Audit rule: an allow escape that suppressed nothing.
+pub const RULE_UNUSED_ALLOW: &str = "unused_allow";
+/// Audit rule: a syntactically invalid allow escape.
+pub const RULE_BAD_ALLOW: &str = "bad_allow";
+
+/// The rules a `detlint::allow(...)` escape may name.
+pub const SUPPRESSIBLE_RULES: [&str; 5] = [
+    RULE_WALL_CLOCK,
+    RULE_STREAM_CONST,
+    RULE_MAP_ITER,
+    RULE_PANIC_PATH,
+    RULE_SEED_TRUNC,
+];
+
+/// Crates whose library code must be panic-free (`panic_path` scope):
+/// anything that runs inside the simulation pipeline, where a panic in one
+/// deterministic replica would desynchronise an A/B comparison.
+const PANIC_FREE_PREFIXES: [&str; 3] =
+    ["crates/core/src", "crates/cluster/src", "crates/knobs/src"];
+
+/// Directory names the walker never descends into.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Display path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A raw seed-stream derivation site (used for duplicate detection across
+/// files in [`lint_paths`]).
+#[derive(Debug, Clone)]
+struct StreamSite {
+    file: String,
+    line: usize,
+    value: u64,
+}
+
+#[derive(Debug)]
+struct Allow {
+    /// 0-based line of the escape comment.
+    line: usize,
+    rule: String,
+    /// Inclusive 0-based range of lines this escape covers.
+    start: usize,
+    end: usize,
+    used: bool,
+}
+
+/// Lints one file's source text. `display_path` determines path-scoped
+/// behaviour (`panic_path` crate scope, whole-file test exemption) and is
+/// echoed into findings verbatim.
+pub fn lint_source(display_path: &str, src: &str) -> Vec<Finding> {
+    lint_source_inner(display_path, src).0
+}
+
+fn lint_source_inner(display_path: &str, src: &str) -> (Vec<Finding>, Vec<StreamSite>) {
+    let lines = split_channels(src);
+    let toks: Vec<Vec<Tok<'_>>> = lines.iter().map(|l| tokenize(&l.code)).collect();
+
+    let file_is_test = path_is_test(display_path);
+    let mut is_test = test_region_mask(&lines, &toks);
+    if file_is_test {
+        is_test.iter_mut().for_each(|t| *t = true);
+    }
+    let in_seed_fn = seed_fn_mask(&lines, &toks);
+    let map_names = collect_map_names(&toks);
+
+    let (mut allows, mut findings) = parse_allows(display_path, &lines);
+    let mut streams = Vec::new();
+    let mut raw: Vec<Finding> = Vec::new();
+
+    for (i, tok_line) in toks.iter().enumerate() {
+        if is_test[i] || tok_line.is_empty() {
+            continue;
+        }
+        check_wall_clock(display_path, i, tok_line, &mut raw);
+        check_stream_const(display_path, i, tok_line, &mut raw, &mut streams);
+        check_map_iter(display_path, i, tok_line, &map_names, &mut raw);
+        check_panic_path(display_path, i, tok_line, &mut raw);
+        if in_seed_fn[i] {
+            check_seed_trunc(display_path, i, tok_line, &mut raw);
+        }
+    }
+
+    // Suppression pass: a finding covered by a matching allow is dropped
+    // and marks the allow as used.
+    for f in raw {
+        let line0 = f.line - 1;
+        let covered = allows
+            .iter_mut()
+            .find(|a| a.rule == f.rule && a.start <= line0 && line0 <= a.end);
+        match covered {
+            Some(a) => a.used = true,
+            None => findings.push(f),
+        }
+    }
+    // Suppressed sites' stream constants are sanctioned; drop them from
+    // the cross-file duplicate audit too.
+    streams.retain(|s| {
+        !allows.iter().any(|a| {
+            a.used && a.rule == RULE_STREAM_CONST && a.start < s.line && s.line - 1 <= a.end
+        })
+    });
+
+    for a in &allows {
+        // An escape whose whole scope is test code is inert (the rules
+        // don't run there), so the staleness audit doesn't apply either.
+        let scope_is_test = (a.start..=a.end.min(is_test.len().saturating_sub(1)))
+            .all(|l| is_test.get(l).copied().unwrap_or(false));
+        if !a.used && !scope_is_test {
+            findings.push(Finding {
+                file: display_path.to_string(),
+                line: a.line + 1,
+                rule: RULE_UNUSED_ALLOW,
+                message: format!(
+                    "detlint::allow({}) suppressed nothing; remove the stale escape",
+                    a.rule
+                ),
+            });
+        }
+    }
+
+    findings.sort();
+    (findings, streams)
+}
+
+/// Lints every `.rs` file under `roots` (files are accepted directly;
+/// directories are walked recursively, skipping `target`, `vendor`,
+/// `.git`, `fixtures` and `node_modules`). Roots that do not exist are
+/// ignored so one invocation can cover optional layout directories.
+/// File order — and therefore finding order — is sorted and deterministic.
+pub fn lint_paths(roots: &[PathBuf]) -> io::Result<Vec<Finding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for root in roots {
+        if root.exists() {
+            collect_rs_files(root, &mut files)?;
+        }
+    }
+    files.sort();
+    files.dedup();
+
+    let mut findings = Vec::new();
+    let mut streams: Vec<StreamSite> = Vec::new();
+    for file in &files {
+        let src = std::fs::read_to_string(file)?;
+        let display = file.to_string_lossy().replace('\\', "/");
+        let (f, s) = lint_source_inner(&display, &src);
+        findings.extend(f);
+        streams.extend(s);
+    }
+
+    // Cross-file duplicate audit: two raw derivation sites sharing a
+    // constant silently couple their streams (the exact bug class the
+    // registry exists to prevent), so call the aliasing out explicitly.
+    let mut first_site: BTreeMap<u64, &StreamSite> = BTreeMap::new();
+    for site in &streams {
+        if let Some(first) = first_site.get(&site.value) {
+            for f in findings.iter_mut() {
+                if f.file == site.file && f.line == site.line && f.rule == RULE_STREAM_CONST {
+                    f.message.push_str(&format!(
+                        "; constant 0x{:X} duplicates {}:{} (streams would be coupled)",
+                        site.value, first.file, first.line
+                    ));
+                }
+            }
+        } else {
+            first_site.insert(site.value, site);
+        }
+    }
+
+    findings.sort();
+    Ok(findings)
+}
+
+fn collect_rs_files(path: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if path.is_file() {
+        if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path.to_path_buf());
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(path)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            let name = entry.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs_files(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// Whether a path is test-only by location: any `tests` or `benches`
+/// component exempts the whole file.
+fn path_is_test(display_path: &str) -> bool {
+    display_path
+        .split('/')
+        .any(|c| c == "tests" || c == "benches")
+}
+
+// ---------------------------------------------------------------------------
+// Region analysis
+// ---------------------------------------------------------------------------
+
+/// Marks lines inside `#[test]` / `#[cfg(test)]` items (attribute through
+/// the item's closing brace). `#[cfg(not(test))]` does not count, and an
+/// attribute whose item ends in `;` before any `{` (e.g. a gated `use`)
+/// opens no region.
+fn test_region_mask(lines: &[lexer::Line], toks: &[Vec<Tok<'_>>]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    for i in 0..lines.len() {
+        if !is_test_attr(&lines[i].code, &toks[i]) {
+            continue;
+        }
+        if let Some(end) = brace_region(lines, i, 0) {
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+        }
+    }
+    mask
+}
+
+fn is_test_attr(code: &str, toks: &[Tok<'_>]) -> bool {
+    if !code.trim_start().starts_with("#[") {
+        return false;
+    }
+    let has_test = toks.contains(&Tok::Ident("test"));
+    if !has_test {
+        return false;
+    }
+    // `#[cfg(not(test))]` is production code.
+    !toks
+        .windows(3)
+        .any(|w| w[0] == Tok::Ident("not") && w[1] == Tok::Punct('(') && w[2] == Tok::Ident("test"))
+}
+
+/// Marks lines inside functions whose name suggests seed/hash derivation —
+/// the `seed_trunc` scope, where a truncating cast quietly throws away
+/// entropy and collapses distinct streams.
+fn seed_fn_mask(lines: &[lexer::Line], toks: &[Vec<Tok<'_>>]) -> Vec<bool> {
+    const NAME_HINTS: [&str; 4] = ["seed", "hash", "derive", "stream"];
+    let mut mask = vec![false; lines.len()];
+    for i in 0..lines.len() {
+        let Some(name) = fn_name(&toks[i]) else {
+            continue;
+        };
+        let lower = name.to_lowercase();
+        if !NAME_HINTS.iter().any(|h| lower.contains(h)) {
+            continue;
+        }
+        let col = lines[i].code.find(name).unwrap_or(0);
+        if let Some(end) = brace_region(lines, i, col) {
+            for m in mask.iter_mut().take(end + 1).skip(i) {
+                *m = true;
+            }
+        }
+    }
+    mask
+}
+
+fn fn_name<'a>(toks: &[Tok<'a>]) -> Option<&'a str> {
+    toks.windows(2).find_map(|w| match (w[0], w[1]) {
+        (Tok::Ident("fn"), Tok::Ident(name)) => Some(name),
+        _ => None,
+    })
+}
+
+/// From `(start_line, start_col)`, finds the first `{` and returns the line
+/// of its matching `}`. Returns `None` if a `;` terminates the item first
+/// or the file ends.
+fn brace_region(lines: &[lexer::Line], start_line: usize, start_col: usize) -> Option<usize> {
+    let mut depth = 0u32;
+    let mut seen_open = false;
+    for (l, line) in lines.iter().enumerate().skip(start_line) {
+        let code = &line.code;
+        let from = if l == start_line {
+            start_col.min(code.len())
+        } else {
+            0
+        };
+        for c in code[from..].chars() {
+            if !seen_open {
+                match c {
+                    '{' => {
+                        seen_open = true;
+                        depth = 1;
+                    }
+                    ';' => return None,
+                    _ => {}
+                }
+            } else {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(l);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Allow escapes
+// ---------------------------------------------------------------------------
+
+fn parse_allows(display_path: &str, lines: &[lexer::Line]) -> (Vec<Allow>, Vec<Finding>) {
+    const MARKER: &str = "detlint::allow(";
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        // Escapes live in plain `//` comments only; doc comments (`///`,
+        // `//!`) merely *describe* the syntax and never activate it.
+        let trimmed = line.comment.trim_start();
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = line.comment.find(MARKER) else {
+            continue;
+        };
+        let rest = &line.comment[pos + MARKER.len()..];
+        let bad = |message: String| Finding {
+            file: display_path.to_string(),
+            line: i + 1,
+            rule: RULE_BAD_ALLOW,
+            message,
+        };
+        let Some(close) = rest.find(')') else {
+            findings.push(bad("unclosed detlint::allow(".to_string()));
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        if !SUPPRESSIBLE_RULES.contains(&rule.as_str()) {
+            findings.push(bad(format!(
+                "unknown rule '{rule}' in detlint::allow (expected one of: {})",
+                SUPPRESSIBLE_RULES.join(", ")
+            )));
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        if !after.starts_with(':') || after[1..].trim().is_empty() {
+            findings.push(bad(format!(
+                "detlint::allow({rule}) requires a reason: `// detlint::allow({rule}): <why>`"
+            )));
+            continue;
+        }
+        let (start, end) = if line.code.trim().is_empty() {
+            // Standalone escape: covers the next statement — through the
+            // first following line whose code ends with `;`, `{` or `}`
+            // (surviving rustfmt-wrapped multi-line expressions).
+            let start = i + 1;
+            let mut end = lines.len().saturating_sub(1);
+            for (j, l) in lines.iter().enumerate().skip(start) {
+                let t = l.code.trim_end();
+                if t.ends_with(';') || t.ends_with('{') || t.ends_with('}') {
+                    end = j;
+                    break;
+                }
+            }
+            (start, end)
+        } else {
+            // Trailing escape: covers only its own line.
+            (i, i)
+        };
+        allows.push(Allow {
+            line: i,
+            rule,
+            start,
+            end,
+            used: false,
+        });
+    }
+    (allows, findings)
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+fn finding(file: &str, line0: usize, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line: line0 + 1,
+        rule,
+        message,
+    }
+}
+
+/// R1: ambient nondeterminism. Any of these in production code breaks
+/// bit-identical replay regardless of seed.
+fn check_wall_clock(file: &str, i: usize, toks: &[Tok<'_>], out: &mut Vec<Finding>) {
+    let pair = |a: &str, b: &str| {
+        toks.windows(4).any(|w| {
+            w[0] == Tok::Ident(a)
+                && w[1] == Tok::Punct(':')
+                && w[2] == Tok::Punct(':')
+                && w[3] == Tok::Ident(b)
+        })
+    };
+    let lone = |a: &str| toks.contains(&Tok::Ident(a));
+
+    let hit = if pair("Instant", "now") {
+        Some("Instant::now() reads the wall clock")
+    } else if lone("SystemTime") || lone("UNIX_EPOCH") {
+        Some("SystemTime reads the wall clock")
+    } else if lone("thread_rng") {
+        Some("thread_rng() draws OS entropy")
+    } else if pair("rand", "random") {
+        Some("rand::random() draws OS entropy")
+    } else if lone("RandomState") {
+        Some("RandomState hashes with a per-process random key")
+    } else if lone("from_entropy") {
+        Some("from_entropy() draws OS entropy")
+    } else {
+        None
+    };
+    if let Some(why) = hit {
+        out.push(finding(
+            file,
+            i,
+            RULE_WALL_CLOCK,
+            format!("{why}; results must be a pure function of (config, seed)"),
+        ));
+    }
+}
+
+/// R2: raw seed-stream derivation. Stream constants live in exactly one
+/// place — `softsku_telemetry::streams::StreamFamily` — so collisions are
+/// structurally impossible; a literal XOR'd into a seed (or a literal
+/// `seed_from_u64`) bypasses that registry.
+fn check_stream_const(
+    file: &str,
+    i: usize,
+    toks: &[Tok<'_>],
+    out: &mut Vec<Finding>,
+    streams: &mut Vec<StreamSite>,
+) {
+    let mentions_seed = toks.iter().any(|t| match t {
+        Tok::Ident(id) => id.to_lowercase().contains("seed"),
+        _ => false,
+    });
+    if !mentions_seed {
+        return;
+    }
+
+    // `<expr> ^ <int literal>` (either side) on a seed-touching line.
+    let xor_const = toks.iter().enumerate().find_map(|(k, t)| {
+        if *t != Tok::Punct('^') {
+            return None;
+        }
+        let neighbor = |idx: Option<usize>| {
+            idx.and_then(|j| toks.get(j)).and_then(|n| match n {
+                Tok::Num(text) => parse_int(text),
+                _ => None,
+            })
+        };
+        neighbor(k.checked_sub(1)).or_else(|| neighbor(k.checked_add(1)))
+    });
+    // `seed_from_u64(<int literal>…)`: a hardcoded stream seed.
+    let literal_reseed = toks.windows(3).find_map(|w| match (w[0], w[1], w[2]) {
+        (Tok::Ident("seed_from_u64"), Tok::Punct('('), Tok::Num(text)) => parse_int(text),
+        _ => None,
+    });
+
+    if let Some(value) = xor_const.or(literal_reseed) {
+        streams.push(StreamSite {
+            file: file.to_string(),
+            line: i + 1,
+            value,
+        });
+        out.push(finding(
+            file,
+            i,
+            RULE_STREAM_CONST,
+            format!(
+                "raw stream constant 0x{value:X} outside the registry; derive via \
+                 softsku_telemetry::stream_seed(seed, StreamFamily::…)"
+            ),
+        ));
+    }
+}
+
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "retain",
+];
+
+/// Collects identifiers declared (or typed) as `HashMap`/`HashSet` anywhere
+/// in the file: struct fields, typed lets/params (`name: HashMap<…>` even
+/// nested, e.g. `RefCell<HashMap<…>>`), and untyped lets
+/// (`let [mut] name = HashMap::new()`).
+fn collect_map_names(toks: &[Vec<Tok<'_>>]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in toks {
+        let is_map = |t: &Tok<'_>| *t == Tok::Ident("HashMap") || *t == Tok::Ident("HashSet");
+        if !line.iter().any(is_map) {
+            continue;
+        }
+        let eq_pos = line.iter().position(|t| *t == Tok::Punct('='));
+        // `name : … HashMap …` with the type appearing before any `=`.
+        for (k, t) in line.iter().enumerate() {
+            if let Tok::Ident(name) = t {
+                let colon = line.get(k + 1) == Some(&Tok::Punct(':'));
+                // Skip `::` path segments: `std::collections::HashMap`.
+                let path_sep = line.get(k + 2) == Some(&Tok::Punct(':'));
+                if colon && !path_sep {
+                    let type_end = eq_pos.unwrap_or(line.len());
+                    if line[k + 2..type_end].iter().any(is_map) {
+                        names.insert((*name).to_string());
+                    }
+                }
+            }
+        }
+        // `let [mut] name = … HashMap …`.
+        if line.first() == Some(&Tok::Ident("let")) {
+            if let Some(eq) = eq_pos {
+                if line[eq..].iter().any(is_map) {
+                    if let Some(Tok::Ident(name)) =
+                        line[..eq].iter().rev().find(|t| matches!(t, Tok::Ident(_)))
+                    {
+                        names.insert((*name).to_string());
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// R3: iteration over an unordered container. `HashMap` lookup is fine;
+/// iterating one feeds hash order (which varies across std versions and
+/// layouts) into whatever is computed next. Result-affecting iteration must
+/// use `BTreeMap`; diagnostics may sort first or carry an allow.
+fn check_map_iter(
+    file: &str,
+    i: usize,
+    toks: &[Tok<'_>],
+    map_names: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    // `name.iter()` / `.keys()` / `.drain(` / … on a known map binding.
+    for w in toks.windows(3) {
+        if let (Tok::Ident(name), Tok::Punct('.'), Tok::Ident(method)) = (w[0], w[1], w[2]) {
+            if map_names.contains(name) && ITER_METHODS.contains(&method) {
+                out.push(finding(
+                    file,
+                    i,
+                    RULE_MAP_ITER,
+                    format!(
+                        "`{name}.{method}` iterates a HashMap/HashSet in unspecified order; \
+                         use a BTreeMap/BTreeSet or sort before consuming"
+                    ),
+                ));
+                return;
+            }
+        }
+    }
+    // `for … in [&[mut]] name` on a known map binding.
+    let for_pos = toks.iter().position(|t| *t == Tok::Ident("for"));
+    let in_pos = toks.iter().position(|t| *t == Tok::Ident("in"));
+    if let (Some(f), Some(n)) = (for_pos, in_pos) {
+        if f < n {
+            for t in &toks[n + 1..] {
+                if let Tok::Ident(name) = t {
+                    if map_names.contains(*name) {
+                        out.push(finding(
+                            file,
+                            i,
+                            RULE_MAP_ITER,
+                            format!(
+                                "`for … in {name}` iterates a HashMap/HashSet in unspecified \
+                                 order; use a BTreeMap/BTreeSet or sort before consuming"
+                            ),
+                        ));
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// R4: panic-capable constructs in pipeline library code. A panic in one
+/// replica of an A/B pair aborts the comparison asymmetrically; library
+/// code must surface errors as values (binaries under `bin/` may unwrap).
+fn check_panic_path(file: &str, i: usize, toks: &[Tok<'_>], out: &mut Vec<Finding>) {
+    if !PANIC_FREE_PREFIXES.iter().any(|p| file.contains(p)) || file.contains("/bin/") {
+        return;
+    }
+    let method_call = |name: &str| {
+        toks.windows(2)
+            .any(|w| w[0] == Tok::Punct('.') && w[1] == Tok::Ident(name))
+    };
+    let bang_macro = |name: &str| {
+        toks.windows(2)
+            .any(|w| w[0] == Tok::Ident(name) && w[1] == Tok::Punct('!'))
+    };
+    let hit = if method_call("unwrap") {
+        Some(".unwrap()")
+    } else if method_call("expect") {
+        Some(".expect(…)")
+    } else if bang_macro("panic") {
+        Some("panic!")
+    } else if bang_macro("unreachable") {
+        Some("unreachable!")
+    } else if bang_macro("todo") {
+        Some("todo!")
+    } else if bang_macro("unimplemented") {
+        Some("unimplemented!")
+    } else {
+        None
+    };
+    if let Some(what) = hit {
+        out.push(finding(
+            file,
+            i,
+            RULE_PANIC_PATH,
+            format!("{what} in pipeline library code; return an error value instead"),
+        ));
+    }
+}
+
+const TRUNCATING_TARGETS: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// R5: truncating casts inside seed/hash derivation. `seed as u32` quietly
+/// discards the high half, collapsing streams that differ only there.
+fn check_seed_trunc(file: &str, i: usize, toks: &[Tok<'_>], out: &mut Vec<Finding>) {
+    for w in toks.windows(2) {
+        if let (Tok::Ident("as"), Tok::Ident(target)) = (w[0], w[1]) {
+            if TRUNCATING_TARGETS.contains(&target) {
+                out.push(finding(
+                    file,
+                    i,
+                    RULE_SEED_TRUNC,
+                    format!(
+                        "truncating cast `as {target}` inside a seed/hash derivation discards \
+                         high bits; keep derivations in u64"
+                    ),
+                ));
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! detlint CLI.
+//!
+//! ```text
+//! cargo run -p detlint --release -- [--deny] [PATH...]
+//! ```
+//!
+//! Lints every `.rs` file under the given paths (default: `crates src
+//! examples tests`; missing paths are skipped). Findings are printed as
+//! `file:line: [rule] message`, sorted, deterministically.
+//!
+//! Exit status: 0 when clean (or findings exist but `--deny` was not
+//! passed), 1 when `--deny` is set and findings exist, 2 on usage or IO
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut roots: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                println!("usage: detlint [--deny] [PATH...]");
+                println!("  --deny   exit nonzero if any finding is reported");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("detlint: unknown flag '{other}' (see --help)");
+                return ExitCode::from(2);
+            }
+            path => roots.push(PathBuf::from(path)),
+        }
+    }
+    if roots.is_empty() {
+        roots = ["crates", "src", "examples", "tests"]
+            .iter()
+            .map(PathBuf::from)
+            .collect();
+    }
+
+    let findings = match detlint::lint_paths(&roots) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("detlint: io error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("detlint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "detlint: {} finding{}",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" }
+        );
+        if deny {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}

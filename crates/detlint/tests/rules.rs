@@ -1,0 +1,172 @@
+//! Fixture-driven self-tests: every rule must fire at exactly the expected
+//! (rule, line) pairs, escapes must suppress and audit, and the real
+//! workspace must lint clean (the same invariant CI's `lint-determinism`
+//! job enforces).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use detlint::{lint_paths, lint_source, Finding};
+
+const R1: &str = include_str!("../fixtures/r1_wall_clock.rs");
+const R2: &str = include_str!("../fixtures/r2_stream_const.rs");
+const R3: &str = include_str!("../fixtures/r3_map_iter.rs");
+const R4: &str = include_str!("../fixtures/r4_panic_path.rs");
+const R5: &str = include_str!("../fixtures/r5_seed_trunc.rs");
+const ALLOWS: &str = include_str!("../fixtures/allows.rs");
+
+/// (rule, line) pairs of a finding list, in reported order.
+fn shape(findings: &[Finding]) -> Vec<(&'static str, usize)> {
+    findings.iter().map(|f| (f.rule, f.line)).collect()
+}
+
+#[test]
+fn r1_wall_clock_fires_per_construct_and_respects_tests() {
+    let findings = lint_source("crates/x/src/lib.rs", R1);
+    assert_eq!(
+        shape(&findings),
+        vec![("wall_clock", 4), ("wall_clock", 9), ("wall_clock", 13)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn r2_stream_const_flags_raw_xor_and_literal_reseed() {
+    let findings = lint_source("crates/x/src/lib.rs", R2);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("stream_const", 4),
+            ("stream_const", 8),
+            ("stream_const", 12)
+        ],
+        "{findings:#?}"
+    );
+    assert!(findings[0].message.contains("0xBEEF"));
+}
+
+#[test]
+fn r2_duplicate_constants_are_called_out_across_sites() {
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("r2_stream_const.rs");
+    let findings = lint_paths(&[fixture]).expect("fixture readable");
+    let dup = findings
+        .iter()
+        .find(|f| f.line == 8)
+        .expect("second 0xBEEF site reported");
+    assert!(
+        dup.message.contains("duplicates") && dup.message.contains(":4"),
+        "duplicate site must reference the first: {dup}"
+    );
+}
+
+#[test]
+fn r3_map_iter_flags_iteration_not_lookup() {
+    let findings = lint_source("crates/x/src/lib.rs", R3);
+    assert_eq!(
+        shape(&findings),
+        vec![("map_iter", 11), ("map_iter", 25)],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn r4_panic_path_is_scoped_to_pipeline_library_code() {
+    let in_scope = lint_source("crates/core/src/fixture.rs", R4);
+    assert_eq!(
+        shape(&in_scope),
+        vec![("panic_path", 4), ("panic_path", 8), ("panic_path", 12)],
+        "{in_scope:#?}"
+    );
+    // Out-of-scope crate: same source, no findings.
+    assert!(lint_source("crates/archsim/src/fixture.rs", R4).is_empty());
+    // Binaries may unwrap.
+    assert!(lint_source("crates/core/src/bin/tool.rs", R4).is_empty());
+}
+
+#[test]
+fn r5_seed_trunc_fires_only_inside_derivation_fns() {
+    let findings = lint_source("crates/x/src/lib.rs", R5);
+    assert_eq!(shape(&findings), vec![("seed_trunc", 4)], "{findings:#?}");
+}
+
+#[test]
+fn allow_escapes_suppress_audit_and_reject_malformed() {
+    let findings = lint_source("crates/x/src/lib.rs", ALLOWS);
+    assert_eq!(
+        shape(&findings),
+        vec![
+            ("unused_allow", 14),
+            ("bad_allow", 19),
+            ("bad_allow", 24),
+            ("wall_clock", 25)
+        ],
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn test_files_are_exempt_by_path() {
+    // The same wall-clock fixture under a tests/ path reports nothing.
+    assert!(lint_source("crates/x/tests/integration.rs", R1).is_empty());
+}
+
+/// The invariant CI enforces: the workspace's own sources lint clean,
+/// including zero unused allow escapes.
+#[test]
+fn workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let roots: Vec<PathBuf> = ["crates", "src", "examples", "tests"]
+        .iter()
+        .map(|d| root.join(d))
+        .collect();
+    let findings = lint_paths(&roots).expect("workspace readable");
+    assert!(
+        findings.is_empty(),
+        "workspace must satisfy the determinism contract:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// `--deny` must exit nonzero on every fixture (each contains at least one
+/// violation or audit finding) and zero on the clean workspace.
+#[test]
+fn deny_exit_codes() {
+    let fixtures = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    for fixture in [
+        "r1_wall_clock.rs",
+        "r2_stream_const.rs",
+        "r3_map_iter.rs",
+        "r5_seed_trunc.rs",
+        "allows.rs",
+    ] {
+        let status = Command::new(env!("CARGO_BIN_EXE_detlint"))
+            .arg("--deny")
+            .arg(fixtures.join(fixture))
+            .status()
+            .expect("detlint binary runs");
+        assert_eq!(status.code(), Some(1), "{fixture} must fail --deny");
+    }
+    // r4 needs its pipeline-crate path, which the real file system can't
+    // fake here; its scope is covered by the lint_source test above.
+
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let status = Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .arg("--deny")
+        .arg(root.join("crates"))
+        .arg(root.join("src"))
+        .arg(root.join("examples"))
+        .arg(root.join("tests"))
+        .status()
+        .expect("detlint binary runs");
+    assert_eq!(status.code(), Some(0), "workspace must pass --deny");
+}

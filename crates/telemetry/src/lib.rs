@@ -16,6 +16,11 @@
 //! unequal-variance t-test, bootstrap intervals, and autocorrelation-aware
 //! effective sample sizes).
 //!
+//! The [`streams`] module is the workspace's seed-stream registry: every
+//! derived RNG stream family, its XOR mask, and the debug-mode
+//! [`StreamRegistry`] that enforces the determinism contract at runtime
+//! (the `detlint` static pass enforces it at the source level).
+//!
 //! # Example
 //!
 //! ```
@@ -36,8 +41,10 @@ pub mod emon;
 pub mod error;
 pub mod ods;
 pub mod stats;
+pub mod streams;
 
 pub use emon::{EventSet, MultiplexedSampler, SamplerConfig};
 pub use error::TelemetryError;
 pub use ods::{Ods, SeriesKey};
 pub use stats::{welch_test, RunningStats, Summary, WelchResult};
+pub use streams::{stream_seed, IdentitySeed, StreamFamily, StreamRegistry};

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use softsku_telemetry::stats::{
     bootstrap_mean_ci, effective_sample_size, t_quantile, welch_test, Summary,
 };
-use softsku_telemetry::{Ods, SeriesKey};
+use softsku_telemetry::{stream_seed, IdentitySeed, Ods, SeriesKey, StreamFamily};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -104,5 +104,45 @@ proptest! {
         prop_assert!(p0 <= p50 && p50 <= p100);
         let max = values.iter().cloned().fold(f64::MIN, f64::max);
         prop_assert!((p100 - max).abs() < 1e-12);
+    }
+
+    /// Stream derivation is injective over the family registry for every
+    /// base seed: no two families ever yield the same derived seed, so no
+    /// two noise streams can silently couple (the 0xBEEF fleet/engine alias
+    /// was exactly such a coupling before the registry existed).
+    #[test]
+    fn stream_seed_is_injective_over_families(base in any::<u64>()) {
+        let derived: Vec<u64> = StreamFamily::ALL
+            .iter()
+            .map(|&f| stream_seed(base, f))
+            .collect();
+        for (i, a) in derived.iter().enumerate() {
+            for (j, b) in derived.iter().enumerate().skip(i + 1) {
+                prop_assert!(
+                    a != b,
+                    "{} and {} collide at base {base:#x}",
+                    StreamFamily::ALL[i].name(),
+                    StreamFamily::ALL[j].name(),
+                );
+            }
+        }
+        // And derivation is invertible: applying the mask twice returns the
+        // base, so distinct bases can never alias within one family.
+        for &f in StreamFamily::ALL.iter() {
+            prop_assert_eq!(stream_seed(stream_seed(base, f), f), base);
+        }
+    }
+
+    /// Identity-seed folding is order-sensitive and separator-disciplined:
+    /// distinct field sequences yield distinct seeds even when their
+    /// concatenations agree ("ab"+"c" vs "a"+"bc").
+    #[test]
+    fn identity_seed_separates_fields(base in any::<u64>()) {
+        let ab_c = IdentitySeed::new(base).field("ab").field("c").finish();
+        let a_bc = IdentitySeed::new(base).field("a").field("bc").finish();
+        let abc = IdentitySeed::new(base).field("abc").finish();
+        prop_assert!(ab_c != a_bc);
+        prop_assert!(ab_c != abc);
+        prop_assert!(a_bc != abc);
     }
 }

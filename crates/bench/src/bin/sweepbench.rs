@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p softsku-bench --bin sweepbench            # full
 //! cargo run --release -p softsku-bench --bin sweepbench -- --smoke # CI
+//! cargo run --release -p softsku-bench --bin sweepbench -- --json out.json
 //! ```
 //!
 //! Part 1 times one service's independent sweep executed serially
@@ -12,8 +13,10 @@
 //! with the serial ones. Part 2 times a multi-service fleet campaign:
 //! per-service sweeps run back-to-back on one worker vs the `FleetTuner`
 //! interleaving every service's tests on a shared pool. The numbers feed
-//! the EXPERIMENTS.md scheduler row.
+//! the EXPERIMENTS.md scheduler row; `--json <path>` writes the same
+//! measurements as a machine-readable summary for trajectory tracking.
 
+use softsku_bench::json::Json;
 use softsku_cluster::{AbEnvironment, EnvConfig};
 use softsku_knobs::{Knob, KnobSpace};
 use softsku_workloads::{Microservice, PlatformKind};
@@ -45,7 +48,7 @@ fn setup(
     Ok((tester, env, space))
 }
 
-fn single_service(knobs: &[Knob], worker_counts: &[usize]) -> Result<(), UskuError> {
+fn single_service(knobs: &[Knob], worker_counts: &[usize]) -> Result<Json, UskuError> {
     let service = Microservice::Web;
     let platform = PlatformKind::Skylake18;
     println!("== {service} on {platform}: independent sweep, {knobs:?} ==");
@@ -63,6 +66,11 @@ fn single_service(knobs: &[Knob], worker_counts: &[usize]) -> Result<(), UskuErr
         serial.map.test_count(),
         serial.map.test_count() as f64 / serial_s.max(1e-9)
     );
+    let mut runs = vec![Json::obj()
+        .set("mode", Json::Str("serial".into()))
+        .set("workers", Json::Int(1))
+        .set("tests", Json::Int(serial.map.test_count() as i64))
+        .set("wall_s", Json::Num(serial_s))];
 
     for &n in worker_counts {
         let (tester, mut env, space) = setup(service, platform)?;
@@ -88,15 +96,30 @@ fn single_service(knobs: &[Knob], worker_counts: &[usize]) -> Result<(), UskuErr
             par.best_config, serial.best_config,
             "parallel sweep must find the serial winners"
         );
+        runs.push(
+            Json::obj()
+                .set("mode", Json::Str("parallel".into()))
+                .set("workers", Json::Int(n as i64))
+                .set("tests", Json::Int(par.map.test_count() as i64))
+                .set("wall_s", Json::Num(par_s))
+                .set("speedup_vs_serial", Json::Num(serial_s / par_s.max(1e-9))),
+        );
     }
-    Ok(())
+    Ok(Json::obj()
+        .set("service", Json::Str(service.to_string()))
+        .set("platform", Json::Str(platform.to_string()))
+        .set(
+            "knobs",
+            Json::Arr(knobs.iter().map(|k| Json::Str(k.to_string())).collect()),
+        )
+        .set("runs", Json::Arr(runs)))
 }
 
 fn fleet(
     targets: &[(Microservice, PlatformKind)],
     knobs: &[Knob],
     pool: usize,
-) -> Result<(), UskuError> {
+) -> Result<Json, UskuError> {
     println!(
         "== fleet campaign: {} services, knobs {knobs:?} ==",
         targets.len()
@@ -141,33 +164,70 @@ fn fleet(
         "the fleet plan must cover exactly the sequential tests"
     );
     println!("{}", fleet.render());
-    Ok(())
+    Ok(Json::obj()
+        .set("services", Json::Int(targets.len() as i64))
+        .set("tests", Json::Int(fleet.test_count() as i64))
+        .set("sequential_wall_s", Json::Num(seq_s))
+        .set("fleet_wall_s", Json::Num(par_s))
+        .set("fleet_workers", Json::Int(pool as i64))
+        .set("speedup_vs_sequential", Json::Num(seq_s / par_s.max(1e-9))))
+}
+
+/// Parses `--json <path>` out of the argument list.
+fn json_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+    }
+    None
 }
 
 fn main() -> Result<(), UskuError> {
     let hw = usku::scheduler::default_workers().get();
     println!("hardware threads: {hw} (speedups are bounded by this; determinism is not)");
     let smoke = std::env::args().any(|a| a == "--smoke");
-    if smoke {
+    let (single, campaign) = if smoke {
         // CI-sized: one short sweep, two worker counts, a two-service fleet.
-        single_service(&[Knob::Thp], &[1, 2])?;
-        fleet(
-            &[
-                (Microservice::Web, PlatformKind::Skylake18),
-                (Microservice::Cache2, PlatformKind::Skylake18),
-            ],
-            &[Knob::Thp],
-            2,
-        )?;
-        println!("smoke ok");
-        return Ok(());
-    }
+        (
+            single_service(&[Knob::Thp], &[1, 2])?,
+            fleet(
+                &[
+                    (Microservice::Web, PlatformKind::Skylake18),
+                    (Microservice::Cache2, PlatformKind::Skylake18),
+                ],
+                &[Knob::Thp],
+                2,
+            )?,
+        )
+    } else {
+        (
+            single_service(&[Knob::Thp, Knob::Shp, Knob::CoreFrequency], &[1, 2, hw])?,
+            fleet(
+                &FleetTuner::default_targets(),
+                &[Knob::Thp, Knob::Shp, Knob::CoreFrequency],
+                hw,
+            )?,
+        )
+    };
 
-    single_service(&[Knob::Thp, Knob::Shp, Knob::CoreFrequency], &[1, 2, hw])?;
-    fleet(
-        &FleetTuner::default_targets(),
-        &[Knob::Thp, Knob::Shp, Knob::CoreFrequency],
-        hw,
-    )?;
+    if let Some(path) = json_path() {
+        let summary = Json::obj()
+            .set("bench", Json::Str("sweepbench".into()))
+            .set("smoke", Json::Bool(smoke))
+            .set("hardware_threads", Json::Int(hw as i64))
+            .set("base_seed", Json::Int(BASE_SEED as i64))
+            .set("single_service", single)
+            .set("fleet", campaign);
+        std::fs::write(&path, summary.render_pretty()).map_err(|e| UskuError::InputParse {
+            line: 0,
+            detail: format!("writing {path}: {e}"),
+        })?;
+        println!("wrote {path}");
+    }
+    if smoke {
+        println!("smoke ok");
+    }
     Ok(())
 }

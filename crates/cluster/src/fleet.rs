@@ -6,9 +6,19 @@
 //! diurnal load)" (Sec. 4). [`ValidationFleet`] runs that experiment: two
 //! server groups under common diurnal load and a shared code-push process,
 //! streaming per-group QPS into the ODS time-series store.
+//!
+//! [`StagedFleet`] is the deployment-side counterpart: one service's fleet
+//! of replicas partitioned into a baseline group and a candidate (soft-SKU)
+//! group whose size the rollout controller moves through canary stages. It
+//! produces per-tick group QPS samples for guardrail statistics and models
+//! post-deployment *drift* — every code push can erode the candidate's
+//! tuned advantage — which is what the rollout crate's `DriftMonitor`
+//! watches for.
 
 use crate::error::ClusterError;
 use crate::server::SimServer;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use softsku_archsim::engine::ServerConfig;
 use softsku_telemetry::streams::{StreamFamily, StreamRegistry};
 use softsku_telemetry::{Ods, SeriesKey};
@@ -160,6 +170,255 @@ impl ValidationFleet {
     }
 }
 
+/// Parameters of a staged canary fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedFleetConfig {
+    /// Total replicas serving this service.
+    pub replicas: usize,
+    /// Seconds of simulated time between QPS samples.
+    pub tick_s: f64,
+    /// Engine sampling window, instructions.
+    pub window_insns: u64,
+    /// Relative measurement noise of a single replica's QPS report; a
+    /// group of `n` replicas averages it down by `sqrt(n)`.
+    pub noise_rel: f64,
+    /// Code-push arrival rate, pushes per hour.
+    pub pushes_per_hour: f64,
+    /// Magnitude of each push's CPI/miss perturbation.
+    pub push_magnitude: f64,
+    /// Fraction of the candidate's tuned advantage each push erodes —
+    /// the drift-injection hook. `0.0` models a perfectly durable SKU;
+    /// large values force the decay a `DriftMonitor` must catch.
+    pub drift_per_push: f64,
+}
+
+impl StagedFleetConfig {
+    /// Small, fast parameters for unit tests and smoke runs.
+    pub fn fast_test() -> Self {
+        StagedFleetConfig {
+            replicas: 100,
+            tick_s: 600.0,
+            window_insns: 50_000,
+            noise_rel: 0.01,
+            pushes_per_hour: 0.25,
+            push_magnitude: 0.01,
+            drift_per_push: 0.0,
+        }
+    }
+}
+
+/// One per-tick observation of the staged fleet.
+#[derive(Debug, Clone, Copy)]
+pub struct StagedSample {
+    /// Simulated time of the sample, seconds.
+    pub time_s: f64,
+    /// Offered load at the sample time (fraction of peak).
+    pub load: f64,
+    /// Replicas serving the baseline configuration.
+    pub baseline_replicas: usize,
+    /// Replicas serving the candidate (soft-SKU) configuration.
+    pub candidate_replicas: usize,
+    /// Measured mean per-replica QPS of the baseline group.
+    pub baseline_qps: f64,
+    /// Measured mean per-replica QPS of the candidate group, `None` while
+    /// no replica carries the candidate (pre-canary or after rollback).
+    pub candidate_qps: Option<f64>,
+    /// Code pushes that have landed since the fleet was created.
+    pub code_pushes_total: u64,
+}
+
+/// One service's replica fleet under staged soft-SKU rollout.
+///
+/// The fleet always holds back a baseline control group of at least
+/// `max(1, replicas / 100)` replicas — even at the 100 % stage — so drift
+/// monitoring retains a live comparison population, mirroring the paper's
+/// long-horizon ODS comparison against hand-tuned production servers.
+///
+/// Determinism: the diurnal load, the per-group measurement noise, and the
+/// code-push process each draw from their own registered stream family
+/// ([`StreamFamily::RolloutStagedLoad`], [`StreamFamily::RolloutGroupNoise`],
+/// [`StreamFamily::FleetCodePush`]), and every tick consumes exactly two
+/// noise draws regardless of group sizes — so a sample trace is a pure
+/// function of `(config, seed)` and the staging schedule.
+#[derive(Debug)]
+pub struct StagedFleet {
+    baseline: SimServer,
+    candidate: SimServer,
+    load: LoadGenerator,
+    evolution: CodeEvolution,
+    noise: SmallRng,
+    config: StagedFleetConfig,
+    candidate_replicas: usize,
+    /// Multiplicative erosion of the candidate's throughput; starts at 1.0
+    /// and decays by `drift_per_push` per code push.
+    candidate_drift: f64,
+    code_pushes: u64,
+    time_s: f64,
+}
+
+impl StagedFleet {
+    /// Creates the fleet with every replica on `baseline_config`; call
+    /// [`StagedFleet::stage_to`] to move replicas onto `candidate_config`.
+    ///
+    /// # Errors
+    ///
+    /// Server construction errors.
+    pub fn new(
+        profile: WorkloadProfile,
+        baseline_config: ServerConfig,
+        candidate_config: ServerConfig,
+        config: StagedFleetConfig,
+        seed: u64,
+    ) -> Result<Self, ClusterError> {
+        // Both groups share the engine seed (identical hardware), as in
+        // `ValidationFleet::new`.
+        let baseline =
+            SimServer::with_window(profile.clone(), baseline_config, seed, config.window_insns)?;
+        let candidate =
+            SimServer::with_window(profile, candidate_config, seed, config.window_insns)?;
+        let mut streams = StreamRegistry::new(seed);
+        Ok(StagedFleet {
+            baseline,
+            candidate,
+            load: LoadGenerator::new(
+                0.85,
+                0.15,
+                86_400.0,
+                0.02,
+                streams.derive(StreamFamily::RolloutStagedLoad),
+            ),
+            evolution: CodeEvolution::new(
+                config.pushes_per_hour,
+                config.push_magnitude,
+                streams.derive(StreamFamily::FleetCodePush),
+            ),
+            noise: SmallRng::seed_from_u64(streams.derive(StreamFamily::RolloutGroupNoise)),
+            candidate_replicas: 0,
+            candidate_drift: 1.0,
+            code_pushes: 0,
+            time_s: 0.0,
+            config: StagedFleetConfig {
+                replicas: config.replicas.max(2),
+                tick_s: config.tick_s.max(1.0),
+                ..config
+            },
+        })
+    }
+
+    /// Moves the candidate group to `fraction` of the fleet (rounded up),
+    /// clamped so the baseline holdback group survives. Returns the actual
+    /// candidate replica count.
+    pub fn stage_to(&mut self, fraction: f64) -> usize {
+        let replicas = self.config.replicas;
+        let want = (fraction.clamp(0.0, 1.0) * replicas as f64).ceil() as usize;
+        self.candidate_replicas = want.min(replicas - self.holdback());
+        self.candidate_replicas
+    }
+
+    /// Reverts every candidate replica to the baseline configuration.
+    pub fn rollback(&mut self) {
+        self.candidate_replicas = 0;
+    }
+
+    /// Swaps in a new candidate configuration (a re-tuned SKU). The
+    /// candidate group is emptied; stage it back up explicitly. The drift
+    /// erosion resets — the new SKU was tuned against current code.
+    ///
+    /// # Errors
+    ///
+    /// Reboot-tolerance and configuration-validation errors.
+    pub fn deploy_candidate(
+        &mut self,
+        config: ServerConfig,
+        needs_reboot: bool,
+    ) -> Result<(), ClusterError> {
+        self.candidate.reconfigure(config, needs_reboot)?;
+        self.candidate_replicas = 0;
+        self.candidate_drift = 1.0;
+        Ok(())
+    }
+
+    /// Advances one tick: lands due code pushes, samples the diurnal load,
+    /// and measures both groups' mean per-replica QPS.
+    ///
+    /// # Errors
+    ///
+    /// Engine errors on configuration evaluation.
+    pub fn tick(&mut self) -> Result<StagedSample, ClusterError> {
+        self.time_s += self.config.tick_s;
+        while let Some(push) = self.evolution.push_before(self.time_s) {
+            self.baseline.apply_code_push(push);
+            self.candidate.apply_code_push(push);
+            self.candidate_drift *= 1.0 - self.config.drift_per_push.clamp(0.0, 1.0);
+            self.code_pushes += 1;
+        }
+        let load = self.load.load_at(self.time_s);
+        let baseline_replicas = self.config.replicas - self.candidate_replicas;
+        // Both noise draws happen every tick, staged or not, to keep the
+        // stream position independent of the staging schedule.
+        let bnoise = self.group_noise(baseline_replicas);
+        let cnoise = self.group_noise(self.candidate_replicas);
+        let baseline_qps = self.baseline.qps(load)? * bnoise;
+        let candidate_qps = if self.candidate_replicas > 0 {
+            Some(self.candidate.qps(load)? * self.candidate_drift * cnoise)
+        } else {
+            None
+        };
+        Ok(StagedSample {
+            time_s: self.time_s,
+            load,
+            baseline_replicas,
+            candidate_replicas: self.candidate_replicas,
+            baseline_qps,
+            candidate_qps,
+            code_pushes_total: self.code_pushes,
+        })
+    }
+
+    /// The baseline holdback group size: at least one replica, scaling as
+    /// 1 % of the fleet.
+    pub fn holdback(&self) -> usize {
+        (self.config.replicas / 100).max(1)
+    }
+
+    /// Total fleet replicas.
+    pub fn replicas(&self) -> usize {
+        self.config.replicas
+    }
+
+    /// Replicas currently serving the candidate configuration.
+    pub fn candidate_replicas(&self) -> usize {
+        self.candidate_replicas
+    }
+
+    /// Fraction of the fleet on the candidate configuration.
+    pub fn candidate_fraction(&self) -> f64 {
+        self.candidate_replicas as f64 / self.config.replicas as f64
+    }
+
+    /// Cumulative drift-erosion factor on the candidate's throughput.
+    pub fn candidate_drift(&self) -> f64 {
+        self.candidate_drift
+    }
+
+    /// Code pushes landed so far.
+    pub fn code_pushes(&self) -> u64 {
+        self.code_pushes
+    }
+
+    /// Current simulated time, seconds.
+    pub fn time_s(&self) -> f64 {
+        self.time_s
+    }
+
+    fn group_noise(&mut self, group: usize) -> f64 {
+        let u1: f64 = self.noise.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.noise.gen();
+        let g = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        1.0 + self.config.noise_rel * g / (group.max(1) as f64).sqrt()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,5 +463,86 @@ mod tests {
         let mut fleet = ValidationFleet::new(profile, cfg.clone(), cfg, 50_000, 5400.0, 2).unwrap();
         let out = fleet.run(2.0 * 86_400.0).unwrap();
         assert!(out.code_pushes > 3, "pushes {}", out.code_pushes);
+    }
+
+    fn staged_setup(config: StagedFleetConfig, seed: u64) -> StagedFleet {
+        let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+        let baseline = profile.production_config.clone();
+        let mut candidate = baseline.clone();
+        candidate.shp_pages = 300;
+        StagedFleet::new(profile, baseline, candidate, config, seed).unwrap()
+    }
+
+    #[test]
+    fn staging_respects_the_holdback_group() {
+        let mut fleet = staged_setup(StagedFleetConfig::fast_test(), 7);
+        assert_eq!(fleet.candidate_replicas(), 0);
+        assert_eq!(fleet.stage_to(0.01), 1);
+        assert_eq!(fleet.stage_to(0.25), 25);
+        // Full rollout still keeps the 1 % baseline control population.
+        assert_eq!(fleet.stage_to(1.0), 99);
+        assert_eq!(fleet.holdback(), 1);
+        fleet.rollback();
+        assert_eq!(fleet.candidate_replicas(), 0);
+    }
+
+    #[test]
+    fn staged_samples_are_deterministic_across_replays() {
+        let cfg = StagedFleetConfig::fast_test();
+        let mut a = staged_setup(cfg, 11);
+        let mut b = staged_setup(cfg, 11);
+        a.stage_to(0.25);
+        b.stage_to(0.25);
+        for _ in 0..50 {
+            let sa = a.tick().unwrap();
+            let sb = b.tick().unwrap();
+            assert_eq!(sa.baseline_qps.to_bits(), sb.baseline_qps.to_bits());
+            assert_eq!(
+                sa.candidate_qps.map(f64::to_bits),
+                sb.candidate_qps.map(f64::to_bits)
+            );
+            assert_eq!(sa.load.to_bits(), sb.load.to_bits());
+            assert_eq!(sa.code_pushes_total, sb.code_pushes_total);
+        }
+    }
+
+    #[test]
+    fn drift_erodes_the_candidate_advantage() {
+        let mut cfg = StagedFleetConfig::fast_test();
+        cfg.pushes_per_hour = 2.0;
+        cfg.drift_per_push = 0.02;
+        cfg.noise_rel = 0.0;
+        let mut fleet = staged_setup(cfg, 3);
+        fleet.stage_to(1.0);
+        let first = fleet.tick().unwrap();
+        let early_gain = first.candidate_qps.unwrap() / first.baseline_qps - 1.0;
+        let mut last = first;
+        for _ in 0..200 {
+            last = fleet.tick().unwrap();
+        }
+        let late_gain = last.candidate_qps.unwrap() / last.baseline_qps - 1.0;
+        assert!(last.code_pushes_total > 10, "pushes should land");
+        assert!(fleet.candidate_drift() < 0.9);
+        assert!(
+            late_gain < early_gain - 0.05,
+            "gain should decay: early {early_gain:+.3}, late {late_gain:+.3}"
+        );
+    }
+
+    #[test]
+    fn deploying_a_retuned_candidate_resets_drift() {
+        let mut cfg = StagedFleetConfig::fast_test();
+        cfg.pushes_per_hour = 2.0;
+        cfg.drift_per_push = 0.05;
+        let mut fleet = staged_setup(cfg, 5);
+        fleet.stage_to(0.25);
+        for _ in 0..100 {
+            fleet.tick().unwrap();
+        }
+        assert!(fleet.candidate_drift() < 1.0);
+        let retuned = fleet.baseline.config().clone();
+        fleet.deploy_candidate(retuned, false).unwrap();
+        assert_eq!(fleet.candidate_replicas(), 0);
+        assert!((fleet.candidate_drift() - 1.0).abs() < 1e-12);
     }
 }

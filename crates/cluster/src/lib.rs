@@ -9,6 +9,9 @@
 //!   and fleet-wide code pushes.
 //! * [`fleet::ValidationFleet`] — the long-horizon ODS-backed QPS comparison
 //!   the soft-SKU generator uses to confirm a deployed configuration's win.
+//! * [`fleet::StagedFleet`] — one service's replica fleet partitioned into
+//!   baseline and candidate groups for staged canary rollout, with a
+//!   code-push drift-injection hook for the rollout crate's monitoring.
 //! * [`hazards::HazardSchedule`] — seeded production-hazard injection (arm
 //!   crashes, telemetry dropouts/outliers, load spikes, flaky knob tooling)
 //!   that the self-healing A/B consumer must survive.
@@ -45,6 +48,6 @@ pub mod server;
 pub use colocation::{best_pairing, ColocatedPair, ColocationOutcome, Pairing};
 pub use env::{AbEnvironment, Arm, EnvConfig, PairSample};
 pub use error::ClusterError;
-pub use fleet::{ValidationFleet, ValidationOutcome};
+pub use fleet::{StagedFleet, StagedFleetConfig, StagedSample, ValidationFleet, ValidationOutcome};
 pub use hazards::{HazardConfig, HazardEvent, HazardSchedule};
 pub use server::SimServer;

@@ -68,8 +68,8 @@ pub use metric::PerformanceMetric;
 pub use objective::{Objective, PowerModel};
 pub use scheduler::{
     default_workers, derive_joint_seed, derive_seed, parallel_exhaustive_sweep,
-    parallel_independent_sweep, plan_exhaustive, plan_independent, FleetOutcome, FleetTuner,
-    JointUnit, Schedule, ServiceTuning, TestUnit,
+    parallel_independent_sweep, plan_exhaustive, plan_independent, run_replicas, FleetOutcome,
+    FleetTuner, JointUnit, ReplicaRun, Schedule, ServiceTuning, TestUnit,
 };
 pub use search::{exhaustive_sweep, hill_climb, independent_sweep, SearchOutcome};
 pub use usku::{AbTestConfigurator, Usku, UskuConfig, UskuReport};

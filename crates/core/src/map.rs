@@ -104,6 +104,31 @@ impl DesignSpaceMap {
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("gains are finite"))
     }
 
+    /// The per-knob winners: for every knob with a significantly better
+    /// setting, that setting and its measured gain, in knob order (the map
+    /// is keyed by a `BTreeMap`, so the order is canonical and independent
+    /// of recording order). This is the input the rollout crate's
+    /// `SkuComposer` starts from.
+    pub fn winners(&self) -> Vec<(Knob, KnobSetting, f64)> {
+        self.per_knob
+            .keys()
+            .filter_map(|&knob| self.best_setting(knob).map(|(s, g)| (knob, s, g)))
+            .collect()
+    }
+
+    /// The single best per-knob winner across the whole map — the strongest
+    /// claim a *one-knob* SKU could make. Ties keep the earliest knob in
+    /// knob order.
+    pub fn best_single(&self) -> Option<(Knob, KnobSetting, f64)> {
+        let mut best: Option<(Knob, KnobSetting, f64)> = None;
+        for w in self.winners() {
+            if best.is_none_or(|b| w.2 > b.2) {
+                best = Some(w);
+            }
+        }
+        best
+    }
+
     /// Total A/B tests recorded, joint configurations included.
     pub fn test_count(&self) -> usize {
         self.per_knob.values().map(Vec::len).sum::<usize>() + self.joint.len()
@@ -321,6 +346,32 @@ mod tests {
             result(second[0], Verdict::Better { gain: 0.05 }, 100),
         );
         assert_eq!(map.best_joint().unwrap().0.settings, first);
+    }
+
+    #[test]
+    fn winners_come_out_in_knob_order_with_best_single_on_top() {
+        let mut map = DesignSpaceMap::new();
+        map.record(result(
+            KnobSetting::ShpPages(300),
+            Verdict::Better { gain: 0.06 },
+            200,
+        ));
+        map.record(result(
+            KnobSetting::CoreFrequencyGhz(1.8),
+            Verdict::Better { gain: 0.02 },
+            200,
+        ));
+        map.record(result(KnobSetting::CoreCount(8), Verdict::NoDifference, 50));
+        let winners = map.winners();
+        assert_eq!(winners.len(), 2, "NoDifference is not a winner");
+        // Knob order, not recording or gain order.
+        assert_eq!(winners[0].0, Knob::CoreFrequency);
+        assert_eq!(winners[1].0, Knob::Shp);
+        let (knob, setting, gain) = map.best_single().unwrap();
+        assert_eq!(knob, Knob::Shp);
+        assert_eq!(setting, KnobSetting::ShpPages(300));
+        assert!((gain - 0.06).abs() < 1e-12);
+        assert!(DesignSpaceMap::new().best_single().is_none());
     }
 
     #[test]

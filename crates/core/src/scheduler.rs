@@ -172,24 +172,38 @@ pub fn plan_exhaustive(
 }
 
 /// Completed run of one scheduled unit.
-struct UnitRun {
-    result: AbTestResult,
+#[derive(Debug)]
+pub struct ReplicaRun {
+    /// The A/B verdict the replica produced.
+    pub result: AbTestResult,
     /// Simulated machine-seconds the replica consumed.
-    sim_time_s: f64,
+    pub sim_time_s: f64,
     /// Real wall-clock seconds the test took on its worker.
-    wall_s: f64,
+    pub wall_s: f64,
 }
 
-/// Runs `units` on a scoped worker pool and returns one [`UnitRun`] per
+/// Runs `units` on a scoped worker pool and returns one [`ReplicaRun`] per
 /// unit **in plan order**, regardless of which worker ran what or when it
 /// finished. Workers pull from a shared atomic cursor (work stealing keeps
 /// them busy through uneven test lengths) and deposit into plan-indexed
 /// slots; nothing about the output depends on scheduling.
 ///
+/// This is the determinism-preserving primitive every parallel consumer in
+/// the workspace builds on — the sweeps and [`FleetTuner`] here, and the
+/// rollout crate's composed-SKU validation replicas.
+///
 /// Errors are also deterministic: every unit either completes or the pool
 /// drains early, and the error reported is the one at the lowest plan
 /// index, not the first to lose a race.
-fn run_pool<T, F>(units: &[T], workers: usize, run_one: F) -> Result<Vec<UnitRun>, UskuError>
+///
+/// # Errors
+///
+/// Returns the lowest-plan-index error produced by `run_one`, if any.
+pub fn run_replicas<T, F>(
+    units: &[T],
+    workers: usize,
+    run_one: F,
+) -> Result<Vec<ReplicaRun>, UskuError>
 where
     T: Sync,
     F: Fn(&T) -> Result<(AbTestResult, f64), UskuError> + Sync,
@@ -197,7 +211,7 @@ where
     let workers = workers.max(1).min(units.len().max(1));
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
-    let slots: Mutex<Vec<Option<Result<UnitRun, UskuError>>>> =
+    let slots: Mutex<Vec<Option<Result<ReplicaRun, UskuError>>>> =
         Mutex::new((0..units.len()).map(|_| None).collect());
 
     std::thread::scope(|scope| {
@@ -213,7 +227,7 @@ where
                 // detlint::allow(wall_clock): tune.wall_s telemetry only —
                 // wall time is reported to ODS, never fed into a result.
                 let t0 = Instant::now();
-                let outcome = run_one(&units[i]).map(|(result, sim_time_s)| UnitRun {
+                let outcome = run_one(&units[i]).map(|(result, sim_time_s)| ReplicaRun {
                     result,
                     sim_time_s,
                     wall_s: t0.elapsed().as_secs_f64(),
@@ -319,7 +333,7 @@ pub fn parallel_independent_sweep(
     let plan = plan_independent(baseline, space, knobs, &service, schedule.base_seed);
     warm_baseline(proto, baseline);
     let proto = &*proto;
-    let runs = run_pool(&plan, schedule.workers.get(), |unit: &TestUnit| {
+    let runs = run_replicas(&plan, schedule.workers.get(), |unit: &TestUnit| {
         let mut env = proto.fork(unit.seed);
         let result = tester.run(&mut env, baseline, unit.setting)?;
         Ok((result, env.time_s()))
@@ -360,7 +374,7 @@ pub fn parallel_exhaustive_sweep(
     let plan = plan_exhaustive(baseline, space, knobs, budget, &service, schedule.base_seed);
     warm_baseline(proto, baseline);
     let proto = &*proto;
-    let runs = run_pool(&plan, schedule.workers.get(), |unit: &JointUnit| {
+    let runs = run_replicas(&plan, schedule.workers.get(), |unit: &JointUnit| {
         let mut env = proto.fork(unit.seed);
         let needs_reboot = unit.config.active_cores != baseline.active_cores
             || unit.config.shp_pages != baseline.shp_pages;
@@ -476,7 +490,7 @@ impl FleetOutcome {
 /// This is the fleet-scale front-end the ROADMAP's north star asks for: the
 /// full independent-sweep test matrix of all targets (each service with its
 /// constraint-gated knob set and its recommended metric) is flattened into
-/// one global plan and executed by [`run_pool`] — so a long Web sweep
+/// one global plan and executed by [`run_replicas`] — so a long Web sweep
 /// overlaps with short Cache sweeps instead of serializing behind them.
 /// Per-test replica seeds are derived from `(service, knob, setting)`, so
 /// fleet results are bit-identical to tuning each service alone.
@@ -584,7 +598,7 @@ impl FleetTuner {
         }
 
         let prepared_ref = &prepared;
-        let runs = run_pool(&plan, self.workers.get(), |fu: &FleetUnit| {
+        let runs = run_replicas(&plan, self.workers.get(), |fu: &FleetUnit| {
             let target = &prepared_ref[fu.target_idx];
             let mut env = target.proto.fork(fu.unit.seed);
             let result = target

@@ -1,0 +1,257 @@
+//! Post-deployment drift monitoring (paper Sec. 7).
+//!
+//! "Frequent software releases … can change a microservice's architectural
+//! bottlenecks, requiring µSKU tuning to be an ongoing process." A deployed
+//! soft SKU's advantage over the holdback baseline group is re-measured in
+//! rolling windows; when the upper confidence bound of the relative gain
+//! falls below the configured floor, the SKU has drifted and a *scoped*
+//! re-tune — same service, same knob subset, fresh seed from the
+//! `RolloutRetune` stream family — is enqueued for the fleet tuner.
+
+use crate::error::RolloutError;
+use softsku_cluster::StagedFleet;
+use softsku_knobs::Knob;
+use softsku_telemetry::stats::{welch_test, RunningStats};
+use softsku_telemetry::streams::{stream_seed, IdentitySeed, StreamFamily};
+use softsku_telemetry::{Ods, SeriesKey};
+use softsku_workloads::{Microservice, PlatformKind};
+
+/// Drift-detection parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Fleet ticks per rolling gain window.
+    pub window_ticks: usize,
+    /// Windows observed before declaring the SKU healthy.
+    pub max_windows: usize,
+    /// The deployed SKU must keep this much relative gain: drift fires
+    /// when the *upper* confidence bound of the windowed gain drops below
+    /// it.
+    pub min_gain: f64,
+    /// Confidence level of the gain interval.
+    pub confidence: f64,
+}
+
+impl DriftConfig {
+    /// Small, fast parameters for tests and smoke runs.
+    pub fn fast_test() -> Self {
+        DriftConfig {
+            window_ticks: 48,
+            max_windows: 6,
+            min_gain: 0.01,
+            confidence: 0.95,
+        }
+    }
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window_ticks: 144,
+            max_windows: 20,
+            ..DriftConfig::fast_test()
+        }
+    }
+}
+
+/// Identity of the deployed SKU the monitor watches — also the scope of
+/// any re-tune it enqueues.
+#[derive(Debug, Clone)]
+pub struct DeployedSku {
+    /// The service the SKU serves.
+    pub service: Microservice,
+    /// The platform it runs on.
+    pub platform: PlatformKind,
+    /// The knobs the SKU changes (the re-tune sweeps exactly these).
+    pub knobs: Vec<Knob>,
+    /// The lifecycle base seed re-tune seeds derive from.
+    pub base_seed: u64,
+}
+
+/// A scoped re-tune order for the fleet tuner.
+#[derive(Debug, Clone)]
+pub struct RetuneRequest {
+    /// The service to re-tune.
+    pub service: Microservice,
+    /// The platform to re-tune on.
+    pub platform: PlatformKind,
+    /// The knob subset to sweep (the deployed SKU's knobs).
+    pub knobs: Vec<Knob>,
+    /// Base seed of the re-tune campaign, derived from the lifecycle seed
+    /// and the drift window through [`StreamFamily::RolloutRetune`].
+    pub base_seed: u64,
+}
+
+/// What the monitor concluded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftVerdict {
+    /// The gain held through every window.
+    Healthy {
+        /// Windows observed.
+        windows: usize,
+        /// Relative gain of the final window.
+        last_gain: f64,
+    },
+    /// The gain's upper confidence bound fell below the floor.
+    Drifted {
+        /// Zero-based window index that fired.
+        window: usize,
+        /// Relative gain of that window.
+        gain: f64,
+        /// Upper confidence bound of that gain.
+        upper_ci: f64,
+        /// Code pushes the fleet had absorbed by then.
+        code_pushes: u64,
+    },
+}
+
+/// One rolling window's gain measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowGain {
+    /// Zero-based window index.
+    pub window: usize,
+    /// Relative gain (candidate/baseline − 1) of the window means.
+    pub gain: f64,
+    /// Upper confidence bound of the relative gain.
+    pub upper_ci: f64,
+}
+
+/// Outcome of a monitoring run.
+#[derive(Debug)]
+pub struct DriftOutcome {
+    /// The verdict.
+    pub verdict: DriftVerdict,
+    /// Every window observed, in time order.
+    pub windows: Vec<WindowGain>,
+    /// The re-tune order, present exactly when the verdict is
+    /// [`DriftVerdict::Drifted`].
+    pub retune: Option<RetuneRequest>,
+}
+
+/// Watches a deployed SKU's measured gain over rolling windows.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor.
+    pub fn new(config: DriftConfig) -> Self {
+        DriftMonitor { config }
+    }
+
+    /// Observes `fleet` (which must have candidate replicas staged) for up
+    /// to `max_windows` rolling windows, recording per-window gains to the
+    /// `rollout.drift_gain` series and, on drift, `rollout.drift` plus a
+    /// [`RetuneRequest`] scoped to `sku`.
+    ///
+    /// The fleet's code pushes keep landing while the monitor watches —
+    /// that is the drift mechanism — so the measured gain is live, not the
+    /// rollout-time estimate.
+    ///
+    /// # Errors
+    ///
+    /// Fleet/engine errors and ODS append errors.
+    pub fn watch(
+        &self,
+        fleet: &mut StagedFleet,
+        sku: &DeployedSku,
+        ods: &mut Ods,
+    ) -> Result<DriftOutcome, RolloutError> {
+        let service = sku.service.name();
+        let mut windows = Vec::new();
+        let mut last_gain = 0.0;
+        for window in 0..self.config.max_windows.max(1) {
+            let mut base = RunningStats::new();
+            let mut cand = RunningStats::new();
+            for _ in 0..self.config.window_ticks.max(2) {
+                let sample = fleet.tick()?;
+                if let Some(cq) = sample.candidate_qps {
+                    base.push(sample.baseline_qps);
+                    cand.push(cq);
+                }
+            }
+            let (gain, upper_ci) = self.window_gain(&base, &cand)?;
+            last_gain = gain;
+            windows.push(WindowGain {
+                window,
+                gain,
+                upper_ci,
+            });
+            ods.append(
+                &SeriesKey::new(service, "rollout.drift_gain"),
+                fleet.time_s(),
+                gain,
+            )?;
+            if upper_ci < self.config.min_gain {
+                ods.append(
+                    &SeriesKey::new(service, "rollout.drift"),
+                    fleet.time_s(),
+                    upper_ci,
+                )?;
+                let retune = RetuneRequest {
+                    service: sku.service,
+                    platform: sku.platform,
+                    knobs: sku.knobs.clone(),
+                    base_seed: self.retune_seed(sku, window),
+                };
+                ods.append(
+                    &SeriesKey::new(service, "rollout.retune"),
+                    fleet.time_s(),
+                    window as f64,
+                )?;
+                return Ok(DriftOutcome {
+                    verdict: DriftVerdict::Drifted {
+                        window,
+                        gain,
+                        upper_ci,
+                        code_pushes: fleet.code_pushes(),
+                    },
+                    windows,
+                    retune: Some(retune),
+                });
+            }
+        }
+        Ok(DriftOutcome {
+            verdict: DriftVerdict::Healthy {
+                windows: windows.len(),
+                last_gain,
+            },
+            windows,
+            retune: None,
+        })
+    }
+
+    /// The re-tune campaign's base seed: a pure function of the lifecycle
+    /// seed, the SKU identity, and the window that fired — no wall clock,
+    /// no global counter — folded through the registered
+    /// [`StreamFamily::RolloutRetune`] mask.
+    fn retune_seed(&self, sku: &DeployedSku, window: usize) -> u64 {
+        let identity = IdentitySeed::new(sku.base_seed)
+            .field(sku.service.name())
+            .field(&sku.platform.to_string())
+            .field("retune")
+            .field(&window.to_string())
+            .finish();
+        stream_seed(identity, StreamFamily::RolloutRetune)
+    }
+
+    /// The window's relative gain and its upper confidence bound.
+    fn window_gain(
+        &self,
+        base: &RunningStats,
+        cand: &RunningStats,
+    ) -> Result<(f64, f64), RolloutError> {
+        if base.count() < 2 || cand.count() < 2 || base.mean() <= 0.0 {
+            // An unstaged or starved window measures no gain at all —
+            // treat it as fully drifted rather than healthy.
+            return Ok((0.0, f64::NEG_INFINITY));
+        }
+        let b = base.summary()?;
+        let c = cand.summary()?;
+        // `mean_diff = candidate − baseline`; its CI rescaled by the
+        // baseline mean is the relative-gain CI.
+        let welch = welch_test(&c, &b);
+        let (_, hi) = welch.diff_ci(&c, &b, self.config.confidence);
+        Ok((c.mean() / b.mean() - 1.0, hi / b.mean()))
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the rollout lifecycle.
+
+use softsku_cluster::ClusterError;
+use softsku_telemetry::TelemetryError;
+use softsku_workloads::WorkloadError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while composing, rolling out, or monitoring a soft SKU.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RolloutError {
+    /// The tuning or validation layer failed.
+    Usku(usku::UskuError),
+    /// The simulated fleet failed.
+    Cluster(ClusterError),
+    /// A statistics or ODS operation failed.
+    Telemetry(TelemetryError),
+    /// Workload resolution failed.
+    Workload(WorkloadError),
+}
+
+impl fmt::Display for RolloutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RolloutError::Usku(e) => write!(f, "tuning: {e}"),
+            RolloutError::Cluster(e) => write!(f, "fleet: {e}"),
+            RolloutError::Telemetry(e) => write!(f, "telemetry: {e}"),
+            RolloutError::Workload(e) => write!(f, "workload: {e}"),
+        }
+    }
+}
+
+impl Error for RolloutError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RolloutError::Usku(e) => Some(e),
+            RolloutError::Cluster(e) => Some(e),
+            RolloutError::Telemetry(e) => Some(e),
+            RolloutError::Workload(e) => Some(e),
+        }
+    }
+}
+
+impl From<usku::UskuError> for RolloutError {
+    fn from(e: usku::UskuError) -> Self {
+        RolloutError::Usku(e)
+    }
+}
+
+impl From<ClusterError> for RolloutError {
+    fn from(e: ClusterError) -> Self {
+        RolloutError::Cluster(e)
+    }
+}
+
+impl From<TelemetryError> for RolloutError {
+    fn from(e: TelemetryError) -> Self {
+        RolloutError::Telemetry(e)
+    }
+}
+
+impl From<WorkloadError> for RolloutError {
+    fn from(e: WorkloadError) -> Self {
+        RolloutError::Workload(e)
+    }
+}

@@ -1,0 +1,307 @@
+//! Staged canary rollout with statistical QoS guardrails.
+//!
+//! A validated soft SKU is not flipped fleet-wide: following the staged
+//! deployment practice the client-variability literature motivates, the
+//! candidate walks canary stages (1 % → 25 % → 100 % of the service's
+//! replicas by default). At each stage the candidate group's QPS is
+//! compared against the baseline group under Welch's test with a MAD
+//! outlier screen — the same statistical machinery the A/B tester uses —
+//! and a significant breach of the guard floor rolls every replica back.
+//! Every transition lands in the `rollout.*` ODS ledger.
+
+use crate::error::RolloutError;
+use softsku_cluster::{StagedFleet, StagedSample};
+use softsku_telemetry::stats::{welch_test, MadFilter, RunningStats};
+use softsku_telemetry::{Ods, SeriesKey};
+
+/// Guardrail and pacing parameters of a staged rollout.
+#[derive(Debug, Clone)]
+pub struct RolloutConfig {
+    /// Fleet fractions of the successive stages, ascending.
+    pub stages: Vec<f64>,
+    /// Fleet ticks observed per stage before the promotion decision.
+    pub ticks_per_stage: usize,
+    /// Relative loss the guardrail tolerates: the stage fails when the
+    /// candidate is *significantly* below `baseline × (1 − guard_loss)`.
+    pub guard_loss: f64,
+    /// Welch confidence level of the guardrail test.
+    pub confidence: f64,
+    /// MAD screen window over the per-tick relative diffs.
+    pub mad_window: usize,
+    /// MAD rejection threshold, in robust standard deviations.
+    pub mad_k: f64,
+    /// Consecutive ticks breaching `3 × guard_loss` that trigger an
+    /// immediate mid-stage rollback (catastrophic-canary fast path).
+    pub max_strikes: usize,
+}
+
+impl RolloutConfig {
+    /// The paper-shaped default: 1 % canary, 25 %, then full fleet.
+    pub fn fast_test() -> Self {
+        RolloutConfig {
+            stages: vec![0.01, 0.25, 1.0],
+            ticks_per_stage: 48,
+            guard_loss: 0.02,
+            confidence: 0.95,
+            mad_window: 16,
+            mad_k: 5.0,
+            max_strikes: 5,
+        }
+    }
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        RolloutConfig {
+            ticks_per_stage: 144,
+            ..RolloutConfig::fast_test()
+        }
+    }
+}
+
+/// Where the rollout state machine stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutState {
+    /// Not yet started.
+    Pending,
+    /// Observing stage `stage` (index into [`RolloutConfig::stages`]).
+    Canary {
+        /// Stage index under observation.
+        stage: usize,
+    },
+    /// Every stage promoted; the SKU serves the fleet (minus holdback).
+    Deployed,
+    /// A guardrail fired at stage `stage`; every replica is back on the
+    /// baseline.
+    RolledBack {
+        /// Stage index at which the violation fired.
+        stage: usize,
+    },
+}
+
+/// Why a stage failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageViolation {
+    /// Welch's test found the candidate significantly below the guard
+    /// floor at stage end.
+    SignificantLoss,
+    /// `max_strikes` consecutive ticks breached the hard floor mid-stage.
+    HardStrikes,
+}
+
+/// Observed statistics of one stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Fleet fraction the stage targeted.
+    pub fraction: f64,
+    /// Candidate replicas actually staged (holdback-clamped).
+    pub candidate_replicas: usize,
+    /// Ticks observed.
+    pub ticks: usize,
+    /// Ticks the MAD screen rejected.
+    pub screened: usize,
+    /// Mean per-replica baseline QPS over the stage.
+    pub baseline_qps: f64,
+    /// Mean per-replica candidate QPS over the stage.
+    pub candidate_qps: f64,
+    /// Relative diff of the stage means.
+    pub relative_diff: f64,
+    /// The violation that ended the stage, if any.
+    pub violation: Option<StageViolation>,
+}
+
+/// Outcome of one rollout execution.
+#[derive(Debug)]
+pub struct RolloutReport {
+    /// Terminal state: [`RolloutState::Deployed`] or
+    /// [`RolloutState::RolledBack`].
+    pub state: RolloutState,
+    /// Per-stage observations, in stage order (the last entry carries the
+    /// violation on rollback).
+    pub stages: Vec<StageReport>,
+}
+
+impl RolloutReport {
+    /// Whether the SKU reached full deployment.
+    pub fn deployed(&self) -> bool {
+        self.state == RolloutState::Deployed
+    }
+}
+
+/// Drives a [`StagedFleet`] through the configured canary stages.
+#[derive(Debug)]
+pub struct StagedRollout {
+    config: RolloutConfig,
+    state: RolloutState,
+}
+
+impl StagedRollout {
+    /// Creates the state machine in [`RolloutState::Pending`].
+    pub fn new(config: RolloutConfig) -> Self {
+        StagedRollout {
+            config,
+            state: RolloutState::Pending,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RolloutState {
+        self.state
+    }
+
+    /// Executes the staged rollout on `fleet`, recording every transition
+    /// to the `rollout.*` ledger in `ods` under entity `service`.
+    ///
+    /// Series written: `rollout.stage` (fraction at each stage start),
+    /// `rollout.promote` (stage index on promotion), `rollout.violation`
+    /// (relative diff when a guardrail fires), `rollout.rollback` (stage
+    /// index), and `rollout.deployed` (1.0 on full deployment).
+    ///
+    /// # Errors
+    ///
+    /// Fleet/engine errors and ODS append errors.
+    pub fn execute(
+        &mut self,
+        fleet: &mut StagedFleet,
+        service: &str,
+        ods: &mut Ods,
+    ) -> Result<RolloutReport, RolloutError> {
+        let mut stages = Vec::with_capacity(self.config.stages.len());
+        for (idx, &fraction) in self.config.stages.iter().enumerate() {
+            self.state = RolloutState::Canary { stage: idx };
+            let staged = fleet.stage_to(fraction);
+            ods.append(
+                &SeriesKey::new(service, "rollout.stage"),
+                fleet.time_s(),
+                fraction,
+            )?;
+            let report = self.observe_stage(fleet, fraction, staged)?;
+            let violated = report.violation.is_some();
+            let diff = report.relative_diff;
+            stages.push(report);
+            if violated {
+                fleet.rollback();
+                ods.append(
+                    &SeriesKey::new(service, "rollout.violation"),
+                    fleet.time_s(),
+                    diff,
+                )?;
+                ods.append(
+                    &SeriesKey::new(service, "rollout.rollback"),
+                    fleet.time_s(),
+                    idx as f64,
+                )?;
+                self.state = RolloutState::RolledBack { stage: idx };
+                return Ok(RolloutReport {
+                    state: self.state,
+                    stages,
+                });
+            }
+            ods.append(
+                &SeriesKey::new(service, "rollout.promote"),
+                fleet.time_s(),
+                idx as f64,
+            )?;
+        }
+        self.state = RolloutState::Deployed;
+        ods.append(
+            &SeriesKey::new(service, "rollout.deployed"),
+            fleet.time_s(),
+            1.0,
+        )?;
+        Ok(RolloutReport {
+            state: self.state,
+            stages,
+        })
+    }
+
+    /// Observes one stage for `ticks_per_stage` ticks and applies the
+    /// guardrails.
+    fn observe_stage(
+        &self,
+        fleet: &mut StagedFleet,
+        fraction: f64,
+        staged: usize,
+    ) -> Result<StageReport, RolloutError> {
+        let mut mad = MadFilter::new(self.config.mad_window, self.config.mad_k);
+        let mut base = RunningStats::new();
+        let mut cand = RunningStats::new();
+        let mut screened = 0usize;
+        let mut strikes = 0usize;
+        let mut ticks = 0usize;
+        let mut violation = None;
+        let hard_floor = -3.0 * self.config.guard_loss;
+        while ticks < self.config.ticks_per_stage {
+            let sample: StagedSample = fleet.tick()?;
+            ticks += 1;
+            let Some(cq) = sample.candidate_qps else {
+                continue;
+            };
+            let diff = cq / sample.baseline_qps - 1.0;
+            if diff < hard_floor {
+                strikes += 1;
+                if strikes >= self.config.max_strikes {
+                    violation = Some(StageViolation::HardStrikes);
+                    break;
+                }
+            } else {
+                strikes = 0;
+            }
+            if !mad.accept(diff) {
+                screened += 1;
+                continue;
+            }
+            base.push(sample.baseline_qps);
+            cand.push(cq);
+        }
+
+        let baseline_qps = base.mean();
+        let candidate_qps = cand.mean();
+        let relative_diff = if baseline_qps > 0.0 {
+            candidate_qps / baseline_qps - 1.0
+        } else {
+            0.0
+        };
+        if violation.is_none() {
+            violation = self.stage_end_verdict(&base, &cand)?;
+        }
+        Ok(StageReport {
+            fraction,
+            candidate_replicas: staged,
+            ticks,
+            screened,
+            baseline_qps,
+            candidate_qps,
+            relative_diff,
+            violation,
+        })
+    }
+
+    /// Welch's guardrail at stage end: the candidate fails when it sits
+    /// significantly below the shifted baseline `b × (1 − guard_loss)`.
+    fn stage_end_verdict(
+        &self,
+        base: &RunningStats,
+        cand: &RunningStats,
+    ) -> Result<Option<StageViolation>, RolloutError> {
+        if base.count() < 2 || cand.count() < 2 {
+            // Too little surviving data to make a claim either way.
+            return Ok(None);
+        }
+        let b = base.summary()?;
+        let c = cand.summary()?;
+        let scale = 1.0 - self.config.guard_loss;
+        let floor = softsku_telemetry::stats::Summary::from_moments(
+            b.count(),
+            b.mean() * scale,
+            b.variance() * scale * scale,
+        );
+        // `mean_diff = floor − candidate`: positive when the candidate sits
+        // below the guard floor.
+        let welch = welch_test(&floor, &c);
+        if welch.mean_diff > 0.0 && welch.significant_at(self.config.confidence) {
+            return Ok(Some(StageViolation::SignificantLoss));
+        }
+        Ok(None)
+    }
+}

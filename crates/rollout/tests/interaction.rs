@@ -1,0 +1,98 @@
+//! Interaction detection (ISSUE satellite): when the design-space map
+//! carries an antagonistic "winner" — a knob whose claimed per-knob gain
+//! does not survive joint validation — the composer must demote the
+//! composed SKU to the best per-knob fallback instead of shipping it.
+//!
+//! The antagonist here is a large claimed gain attached to a *down-clocked*
+//! core frequency: per-knob sweeps can produce such artifacts under hazard
+//! noise, but jointly the setting costs far more than THP's genuine gain,
+//! so composed validation rejects it and falls back to the knob that
+//! actually validates.
+
+use proptest::prelude::*;
+use softsku_cluster::{AbEnvironment, EnvConfig};
+use softsku_knobs::{Knob, KnobSetting};
+use softsku_rollout::{ComposerConfig, CompositionDecision, SkuComposer};
+use softsku_workloads::{Microservice, PlatformKind};
+use usku::metric::PerformanceMetric;
+use usku::{AbTestConfig, AbTestResult, DesignSpaceMap, Verdict};
+
+const SEED: u64 = 21;
+
+/// A sweep-shaped record carrying a claimed verdict into the map.
+fn claim(setting: KnobSetting, gain: f64) -> AbTestResult {
+    AbTestResult {
+        setting,
+        baseline: None,
+        candidate: None,
+        welch: None,
+        verdict: Verdict::Better { gain },
+        samples: 60,
+        attempts: 60,
+        rejected_outliers: 0,
+    }
+}
+
+fn cheap_abtest() -> AbTestConfig {
+    let mut config = AbTestConfig::fast_test();
+    config.min_samples = 24;
+    config.max_samples = 240;
+    config.batch = 12;
+    config
+}
+
+fn cheap_env() -> EnvConfig {
+    let mut config = EnvConfig::fast_test();
+    config.window_insns = 12_000;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// An antagonistic down-clock claim, whatever its claimed magnitude or
+    /// frequency, never ships composed: the composer demotes to the knob
+    /// whose gain joint validation actually confirms.
+    #[test]
+    fn antagonistic_winner_demotes_to_per_knob_fallback(
+        fake_freq in 1.6f64..1.78,
+        fake_gain in 0.05f64..0.4,
+    ) {
+        let service = Microservice::Web;
+        let profile = service.profile(PlatformKind::Skylake18).unwrap();
+        let baseline = profile.production_config.clone();
+        let mut proto = AbEnvironment::new(profile, cheap_env(), SEED).unwrap();
+
+        // A genuine winner (THP validates jointly) plus the antagonist,
+        // whose claimed gain dominates so it is also the best single knob.
+        let mut map = DesignSpaceMap::new();
+        map.record(claim(
+            KnobSetting::Thp(softsku_archsim::ThpMode::AlwaysOn),
+            0.015,
+        ));
+        map.record(claim(KnobSetting::CoreFrequencyGhz(fake_freq), fake_gain));
+
+        let composer = SkuComposer::new(
+            cheap_abtest(),
+            PerformanceMetric::recommended_for(service),
+            ComposerConfig::fast_test(),
+            SEED,
+        );
+        let composition = composer.compose(&mut proto, &baseline, &map).unwrap();
+
+        prop_assert!(
+            !matches!(composition.decision, CompositionDecision::Composed { .. }),
+            "a composed SKU carrying the down-clock must not validate: {:?}",
+            composition.decision
+        );
+        let CompositionDecision::PerKnobFallback { knob, .. } = composition.decision else {
+            panic!("expected a per-knob fallback, got {:?}", composition.decision);
+        };
+        prop_assert_eq!(knob, Knob::Thp, "the fallback must be the genuine winner");
+        prop_assert!(composition.measured_gain > 0.0);
+        // The deployed config carries only the fallback knob: production
+        // frequency, THP enabled.
+        prop_assert_eq!(composition.config.core_freq_ghz, baseline.core_freq_ghz);
+        prop_assert!(composition.config.thp != baseline.thp);
+    }
+}

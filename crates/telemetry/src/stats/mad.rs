@@ -38,7 +38,7 @@ impl MadFilter {
 
     /// Creates a filter over a rolling window of `window` accepted samples,
     /// rejecting values farther than `k` MADs from the rolling median.
-    /// `window` is floored at [`Self::MIN_TRACK`] and `k` at 1.
+    /// `window` is floored at `MIN_TRACK` (12) and `k` at 1.
     pub fn new(window: usize, k: f64) -> Self {
         MadFilter {
             window: window.max(Self::MIN_TRACK),

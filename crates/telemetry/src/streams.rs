@@ -97,12 +97,18 @@ pub enum StreamFamily {
     /// Treap priority stream of the rank-list LRU stacks
     /// (`archsim::ranklist`).
     RankPriorities,
+    /// Staged-rollout fleet diurnal load noise (`cluster::fleet`).
+    RolloutStagedLoad,
+    /// Staged-rollout per-group replica-sampling noise (`cluster::fleet`).
+    RolloutGroupNoise,
+    /// Base seed of a drift-triggered scoped re-tune (`rollout::drift`).
+    RolloutRetune,
 }
 
 impl StreamFamily {
     /// Every registered family, in declaration order. The uniqueness tests
     /// and the injectivity proptest iterate this.
-    pub const ALL: [StreamFamily; 23] = [
+    pub const ALL: [StreamFamily; 26] = [
         StreamFamily::EnvSamplerA,
         StreamFamily::EnvSamplerB,
         StreamFamily::EnvCommonLoad,
@@ -126,6 +132,9 @@ impl StreamFamily {
         StreamFamily::TraceCodePages2m,
         StreamFamily::TraceDataPages2m,
         StreamFamily::RankPriorities,
+        StreamFamily::RolloutStagedLoad,
+        StreamFamily::RolloutGroupNoise,
+        StreamFamily::RolloutRetune,
     ];
 
     /// The family's XOR mask. Masks are pairwise distinct (tested below and
@@ -162,6 +171,9 @@ impl StreamFamily {
             StreamFamily::TraceCodePages2m => 0x5,
             StreamFamily::TraceDataPages2m => 0x6,
             StreamFamily::RankPriorities => 0x9E37_79B9_7F4A_7C15,
+            StreamFamily::RolloutStagedLoad => 0x57A6_0006,
+            StreamFamily::RolloutGroupNoise => 0x6E01_0007,
+            StreamFamily::RolloutRetune => 0x2E7A_0008,
         }
     }
 
@@ -191,6 +203,9 @@ impl StreamFamily {
             StreamFamily::TraceCodePages2m => "trace.code_pages_2m",
             StreamFamily::TraceDataPages2m => "trace.data_pages_2m",
             StreamFamily::RankPriorities => "rank.priorities",
+            StreamFamily::RolloutStagedLoad => "rollout.staged_load",
+            StreamFamily::RolloutGroupNoise => "rollout.group_noise",
+            StreamFamily::RolloutRetune => "rollout.retune",
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Published comparison data: CloudSuite and Google services.
 //!
 //! The paper contrasts its microservices not only with SPEC CPU2006 (which
-//! it measured) but with numbers it "reproduce[d] … from published reports":
+//! it measured) but with numbers it "reproduce\[d\] … from published reports":
 //! CloudSuite [Ferdman et al., ASPLOS'12, Westmere], Google's fleet profile
 //! [Kanev et al., ISCA'15, Haswell], and Google web search [Ayers et al.,
 //! HPCA'18, Haswell]. As in the paper, these rows are *reference data* — the

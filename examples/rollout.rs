@@ -1,0 +1,83 @@
+//! The closed soft-SKU lifecycle: tune → compose → staged rollout → drift
+//! watch → scoped re-tune.
+//!
+//! ```text
+//! cargo run --release --example rollout
+//! ```
+//!
+//! The paper's end state (Secs. 5.3/6/7) is a *composed* soft SKU serving a
+//! service's fleet, revalidated as code pushes land. This example drives
+//! one service through the whole loop: the fleet tuner finds per-knob
+//! winners, the composer validates them jointly (demoting to the best
+//! single knob when interactions bite), the staged rollout walks the SKU
+//! through 1 % → 25 % → 100 % canary stages under Welch/MAD guardrails, and
+//! the drift monitor watches the deployed fleet while an aggressive
+//! code-push schedule erodes the SKU's advantage — which triggers the
+//! scoped re-tune that closes the loop. Every stream derives from the one
+//! base seed, so the run replays bit-identically.
+
+use softsku::knobs::Knob;
+use softsku::rollout::{PipelineConfig, RolloutPipeline};
+use softsku::telemetry::SeriesKey;
+use softsku::workloads::{Microservice, PlatformKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = PipelineConfig::fast_test(21);
+    // Brisk code churn with mild per-push drift: slow enough to survive the
+    // staged rollout, fast enough that the drift monitor's rolling windows
+    // catch the decay within the example's horizon.
+    config.staged.pushes_per_hour = 2.0;
+    config.staged.push_magnitude = 0.005;
+    config.staged.drift_per_push = 0.0005;
+
+    let pipeline = RolloutPipeline::new(config);
+    let report = pipeline.run(
+        Microservice::Web,
+        PlatformKind::Skylake18,
+        &[Knob::Thp, Knob::Shp],
+    )?;
+    println!("{}", report.render());
+
+    println!("joint validations (composed vs best single knob):");
+    for v in &report.initial.composition.validations {
+        println!(
+            "  {:<24} gain {:+.2}%  {}/{} Better  {}",
+            v.label,
+            v.gain * 100.0,
+            v.better_votes,
+            v.replicas,
+            if v.accepted { "accepted" } else { "rejected" },
+        );
+    }
+    if let Some(drift) = &report.drift {
+        println!("drift windows (relative gain over the holdback group):");
+        for w in &drift.windows {
+            println!(
+                "  window {}  gain {:+.2}%  upper CI {:+.2}%",
+                w.window,
+                w.gain * 100.0,
+                w.upper_ci * 100.0
+            );
+        }
+    }
+
+    println!("rollout.* ledger:");
+    let service = report.service.name();
+    for metric in [
+        "rollout.stage",
+        "rollout.promote",
+        "rollout.violation",
+        "rollout.rollback",
+        "rollout.deployed",
+        "rollout.drift_gain",
+        "rollout.drift",
+        "rollout.retune",
+    ] {
+        let key = SeriesKey::new(service, metric);
+        let n = report.rollout_ods.len(&key);
+        if n > 0 {
+            println!("  {metric:<20} {n} points");
+        }
+    }
+    Ok(())
+}

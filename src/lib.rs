@@ -17,6 +17,7 @@
 //! | [`workloads`] | `softsku-workloads` | the seven microservices + SPEC CPU2006 references |
 //! | [`cluster`] | `softsku-cluster` | simulated servers, A/B environment, validation fleet |
 //! | [`usku`] | `usku` | the µSKU pipeline: input → configurator → A/B tester → generator |
+//! | [`rollout`] | `softsku-rollout` | soft-SKU composition, staged canary rollout, drift-triggered re-tune |
 //!
 //! # Quickstart
 //!
@@ -40,6 +41,7 @@
 pub use softsku_archsim as archsim;
 pub use softsku_cluster as cluster;
 pub use softsku_knobs as knobs;
+pub use softsku_rollout as rollout;
 pub use softsku_telemetry as telemetry;
 pub use softsku_workloads as workloads;
 pub use usku;

@@ -1,0 +1,179 @@
+//! End-to-end rollout lifecycle (ISSUE acceptance): a seeded run drives
+//! tune → compose → staged canary rollout → injected code-push drift →
+//! automatic scoped re-tune, replays bit-identically across worker counts,
+//! and a guardrail violation injected into a staged fleet rolls the
+//! candidate back instead of promoting it.
+
+use softsku::cluster::{StagedFleet, StagedFleetConfig};
+use softsku::knobs::Knob;
+use softsku::rollout::{
+    CompositionDecision, LifecycleReport, PipelineConfig, RolloutConfig, RolloutPipeline,
+    RolloutState, StageViolation, StagedRollout,
+};
+use softsku::telemetry::{Ods, SeriesKey};
+use softsku::workloads::{Microservice, PlatformKind};
+use std::num::NonZeroUsize;
+
+const SEED: u64 = 21;
+
+/// A debug-budget pipeline: small A/B samples, a small fleet, short stages
+/// and drift windows, and code churn hot enough that the drift monitor
+/// fires inside its horizon but mild enough that the rollout survives.
+fn tiny_config(seed: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::fast_test(seed);
+    config.abtest.min_samples = 24;
+    config.abtest.max_samples = 240;
+    config.abtest.batch = 12;
+    config.env.window_insns = 12_000;
+    config.staged.replicas = 20;
+    config.staged.window_insns = 6_000;
+    config.rollout.ticks_per_stage = 12;
+    config.rollout.mad_window = 8;
+    config.drift.window_ticks = 12;
+    config.drift.max_windows = 4;
+    config.staged.pushes_per_hour = 4.0;
+    config.staged.push_magnitude = 0.005;
+    config.staged.drift_per_push = 0.002;
+    config
+}
+
+fn run_cycle(workers: usize) -> LifecycleReport {
+    let config = tiny_config(SEED)
+        .with_workers(NonZeroUsize::new(workers).expect("worker counts are positive"));
+    RolloutPipeline::new(config)
+        .run(
+            Microservice::Web,
+            PlatformKind::Skylake18,
+            &[Knob::Thp, Knob::Shp],
+        )
+        .expect("the lifecycle pipeline runs clean")
+}
+
+/// Everything the determinism contract covers: every field except
+/// `tuning`, whose `tune.wall_s` series is wall-clock telemetry — the one
+/// stream explicitly exempt from bit-identical replay. Debug formatting
+/// round-trips every f64 exactly, so string equality is bit equality.
+fn deterministic_view(r: &LifecycleReport) -> String {
+    format!(
+        "{:?} {:?} {:?} {:?} {:?} {:?}",
+        r.service, r.platform, r.initial, r.drift, r.retuned, r.rollout_ods
+    )
+}
+
+fn series_len(ods: &Ods, service: &str, metric: &str) -> usize {
+    ods.len(&SeriesKey::new(service, metric))
+}
+
+#[test]
+fn full_cycle_deploys_drifts_retunes_and_replays_bit_identically() {
+    let report = run_cycle(1);
+    let service = report.service.name();
+
+    // Tune → compose: the sweeps find real winners and the composed SKU
+    // joint-validates (the Web THP/SHP pair is synergistic).
+    assert!(
+        matches!(
+            report.initial.composition.decision,
+            CompositionDecision::Composed { .. }
+        ),
+        "expected a composed SKU, got {:?}",
+        report.initial.composition.decision
+    );
+    assert!(
+        report.initial.composition.measured_gain > 0.0,
+        "the composed SKU must beat production"
+    );
+
+    // Staged rollout: every canary stage promotes, ending Deployed.
+    let rollout = report
+        .initial
+        .rollout
+        .as_ref()
+        .expect("a composed SKU must reach the staged rollout");
+    assert_eq!(rollout.state, RolloutState::Deployed);
+    assert_eq!(rollout.stages.len(), 3);
+    assert!(rollout.stages.iter().all(|s| s.violation.is_none()));
+
+    // Injected code-push churn drifts the deployed SKU; the monitor fires
+    // and enqueues a scoped re-tune, which redeploys.
+    let retuned = report
+        .retuned
+        .as_ref()
+        .expect("injected drift must trigger a re-tune");
+    assert_eq!(retuned.request.service, report.service);
+    assert!(
+        retuned.winners > 0,
+        "the scoped re-tune must rediscover winners"
+    );
+    assert!(report.deployed(), "the retuned SKU must end deployed");
+
+    // The ODS rollout ledger records the whole story.
+    for (metric, at_least) in [
+        ("rollout.stage", 3),
+        ("rollout.promote", 3),
+        ("rollout.deployed", 1),
+        ("rollout.drift_gain", 1),
+        ("rollout.drift", 1),
+        ("rollout.retune", 1),
+    ] {
+        assert!(
+            series_len(&report.rollout_ods, service, metric) >= at_least,
+            "expected >= {at_least} {metric} points"
+        );
+    }
+    assert_eq!(
+        series_len(&report.rollout_ods, service, "rollout.rollback"),
+        0
+    );
+
+    // The whole cycle is a pure function of (config, seed): an 8-worker
+    // replay reproduces every gain, verdict, stage statistic, drift window,
+    // and ledger point bit for bit.
+    let eight = run_cycle(8);
+    assert_eq!(deterministic_view(&report), deterministic_view(&eight));
+    assert_eq!(report.render(), eight.render());
+}
+
+#[test]
+fn guardrail_violation_rolls_the_candidate_back() {
+    let profile = Microservice::Web
+        .profile(PlatformKind::Skylake18)
+        .expect("the Web profile exists");
+    let baseline = profile.production_config.clone();
+    // Inject a violation: "deploy" the untouched production config while
+    // hot per-push drift erodes the candidate group's throughput below the
+    // guardrail floor during the canary stages.
+    let candidate = baseline.clone();
+    let mut staged = StagedFleetConfig::fast_test();
+    staged.replicas = 20;
+    staged.window_insns = 6_000;
+    staged.pushes_per_hour = 8.0;
+    staged.push_magnitude = 0.002;
+    staged.drift_per_push = 0.05;
+    let mut fleet =
+        StagedFleet::new(profile, baseline, candidate, staged, SEED).expect("fleet builds");
+
+    let mut config = RolloutConfig::fast_test();
+    config.ticks_per_stage = 12;
+    config.mad_window = 8;
+    let mut ods = Ods::new();
+    let report = StagedRollout::new(config)
+        .execute(&mut fleet, "web", &mut ods)
+        .expect("the rollout executes");
+
+    let RolloutState::RolledBack { stage } = report.state else {
+        panic!("expected a rollback, got {:?}", report.state);
+    };
+    let violation = report.stages[stage]
+        .violation
+        .expect("the rolled-back stage records its violation");
+    assert!(matches!(
+        violation,
+        StageViolation::SignificantLoss | StageViolation::HardStrikes
+    ));
+    // The fleet reverts to production everywhere and the ledger records it.
+    assert_eq!(fleet.candidate_replicas(), 0);
+    assert!(series_len(&ods, "web", "rollout.violation") >= 1);
+    assert!(series_len(&ods, "web", "rollout.rollback") >= 1);
+    assert_eq!(series_len(&ods, "web", "rollout.deployed"), 0);
+}

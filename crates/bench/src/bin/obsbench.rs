@@ -1,0 +1,204 @@
+//! Observability-layer benchmark: tracing overhead and retention throughput.
+//!
+//! ```text
+//! cargo run --release -p softsku-bench --bin obsbench            # full
+//! cargo run --release -p softsku-bench --bin obsbench -- --smoke # CI
+//! cargo run --release -p softsku-bench --bin obsbench -- --json out.json
+//! ```
+//!
+//! Part 1 runs the full rollout lifecycle twice — untraced and traced —
+//! and reports the tracing overhead as a percentage of lifecycle wall
+//! time, after asserting both runs produced bit-identical reports (the
+//! observability contract: a disabled-or-enabled sink never perturbs
+//! results). Part 2 measures raw [`TraceSink`] span throughput, the cost
+//! floor for instrumenting hotter loops. Part 3 races [`TieredOds`]
+//! against the flat [`Ods`] on a long append stream whose horizon forces
+//! continuous eviction and tier cascades — the retention tax, paid to keep
+//! a fleet-lifetime ledger on bounded memory. `--json` writes the same
+//! measurements for BENCH_*.json trajectory tracking.
+
+use softsku_bench::json::Json;
+use softsku_knobs::Knob;
+use softsku_rollout::{PipelineConfig, RolloutPipeline};
+use softsku_telemetry::trace::TraceSink;
+use softsku_telemetry::{Ods, SeriesKey, TierSpec, TieredOds};
+use softsku_workloads::{Microservice, PlatformKind};
+use std::time::Instant;
+
+const BASE_SEED: u64 = 21;
+
+type BoxError = Box<dyn std::error::Error>;
+
+fn drifting_config(seed: u64) -> PipelineConfig {
+    let mut config = PipelineConfig::fast_test(seed);
+    config.staged.pushes_per_hour = 2.0;
+    config.staged.push_magnitude = 0.005;
+    config.staged.drift_per_push = 0.0005;
+    config
+}
+
+/// Part 1: lifecycle tracing overhead, traced vs untraced.
+fn trace_overhead() -> Result<Json, BoxError> {
+    let service = Microservice::Web;
+    let platform = PlatformKind::Skylake18;
+    let knobs = [Knob::Thp, Knob::Shp];
+
+    // detlint::allow(wall_clock): benchmark harness measures its own speed;
+    // wall time is the quantity under test, not a simulated result.
+    let t0 = Instant::now();
+    let untraced =
+        RolloutPipeline::new(drifting_config(BASE_SEED)).run(service, platform, &knobs)?;
+    let untraced_s = t0.elapsed().as_secs_f64();
+
+    let mut sink = TraceSink::new();
+    // detlint::allow(wall_clock): benchmark harness measures its own speed.
+    let t0 = Instant::now();
+    let traced = RolloutPipeline::new(drifting_config(BASE_SEED))
+        .run_traced(service, platform, &knobs, &mut sink)?;
+    let traced_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        untraced.render(),
+        traced.render(),
+        "tracing must not perturb lifecycle results"
+    );
+    let overhead_pct = 100.0 * (traced_s - untraced_s) / untraced_s.max(1e-9);
+    println!(
+        "== lifecycle: untraced {untraced_s:.2} s, traced {traced_s:.2} s \
+         ({overhead_pct:+.1} % overhead, {} spans, {} counters) ==",
+        sink.spans().len(),
+        sink.counters().len()
+    );
+    Ok(Json::obj()
+        .set("untraced_wall_s", Json::Num(untraced_s))
+        .set("traced_wall_s", Json::Num(traced_s))
+        .set("overhead_pct", Json::Num(overhead_pct))
+        .set("spans", Json::Int(sink.spans().len() as i64))
+        .set("counters", Json::Int(sink.counters().len() as i64))
+        .set(
+            "export_bytes",
+            Json::Int(sink.chrome_trace().render().len() as i64),
+        ))
+}
+
+/// Part 2: raw span-recording throughput.
+fn span_throughput(spans: usize) -> Json {
+    let mut sink = TraceSink::new();
+    // detlint::allow(wall_clock): benchmark harness measures its own speed.
+    let t0 = Instant::now();
+    for i in 0..spans {
+        let t = i as f64;
+        let h = sink.open("bench", "span", t);
+        sink.leaf("bench", "leaf", t, 0.5);
+        sink.close(h, t + 1.0);
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let rate = (2 * spans) as f64 / wall_s.max(1e-9);
+    println!(
+        "== trace sink: {} spans in {wall_s:.3} s ({rate:.0} spans/s) ==",
+        2 * spans
+    );
+    Json::obj()
+        .set("spans", Json::Int(2 * spans as i64))
+        .set("wall_s", Json::Num(wall_s))
+        .set("spans_per_s", Json::Num(rate))
+}
+
+/// Part 3: tiered-retention append throughput vs the flat ledger, on a
+/// stream long enough that every append evicts and cascades.
+fn retention_throughput(appends: usize) -> Result<Json, BoxError> {
+    let key = SeriesKey::new("web", "rollout.bench");
+    // One point per simulated minute; raw keeps an hour, tier 0 folds into
+    // 10-minute buckets for a day, tier 1 keeps hourly buckets forever.
+    let tiers = [
+        TierSpec {
+            bucket_s: 600.0,
+            window_s: 86_400.0,
+        },
+        TierSpec {
+            bucket_s: 3_600.0,
+            window_s: f64::INFINITY,
+        },
+    ];
+
+    let mut flat = Ods::new();
+    // detlint::allow(wall_clock): benchmark harness measures its own speed.
+    let t0 = Instant::now();
+    for i in 0..appends {
+        flat.append(&key, 60.0 * i as f64, (i % 7) as f64)?;
+    }
+    let flat_s = t0.elapsed().as_secs_f64();
+
+    let mut tiered = TieredOds::with_tiers(3_600.0, tiers.to_vec())?;
+    // detlint::allow(wall_clock): benchmark harness measures its own speed.
+    let t0 = Instant::now();
+    for i in 0..appends {
+        tiered.append(&key, 60.0 * i as f64, (i % 7) as f64)?;
+    }
+    let tiered_s = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        tiered.len(&key),
+        appends,
+        "tiers must not lose observations"
+    );
+    let flat_rate = appends as f64 / flat_s.max(1e-9);
+    let tiered_rate = appends as f64 / tiered_s.max(1e-9);
+    let resident = tiered.raw_points(&key).len()
+        + (0..tiered.tier_count())
+            .map(|t| tiered.tier_points(&key, t).len())
+            .sum::<usize>();
+    println!(
+        "== retention: {appends} appends — flat {flat_rate:.0}/s, tiered {tiered_rate:.0}/s \
+         ({resident} resident points vs {appends} flat) ==",
+    );
+    Ok(Json::obj()
+        .set("appends", Json::Int(appends as i64))
+        .set("flat_appends_per_s", Json::Num(flat_rate))
+        .set("tiered_appends_per_s", Json::Num(tiered_rate))
+        .set("tiered_resident_points", Json::Int(resident as i64))
+        .set(
+            "compression",
+            Json::Num(appends as f64 / resident.max(1) as f64),
+        ))
+}
+
+/// Parses `--json <path>` out of the argument list.
+fn json_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() -> Result<(), BoxError> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    let mut summary = Json::obj()
+        .set("bench", Json::Str("obsbench".into()))
+        .set("smoke", Json::Bool(smoke))
+        .set("base_seed", Json::Int(BASE_SEED as i64))
+        .set(
+            "span_throughput",
+            span_throughput(if smoke { 50_000 } else { 500_000 }),
+        )
+        .set(
+            "retention",
+            retention_throughput(if smoke { 100_000 } else { 1_000_000 })?,
+        );
+    if !smoke {
+        summary = summary.set("lifecycle", trace_overhead()?);
+    }
+
+    if let Some(path) = json_path() {
+        std::fs::write(&path, summary.render_pretty())?;
+        println!("wrote {path}");
+    }
+    if smoke {
+        println!("smoke ok");
+    }
+    Ok(())
+}

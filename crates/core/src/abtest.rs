@@ -163,6 +163,19 @@ impl Verdict {
             _ => None,
         }
     }
+
+    /// Stable lowercase category label, used as a trace attribute and in
+    /// `skuctl` output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Better { .. } => "better",
+            Verdict::Worse { .. } => "worse",
+            Verdict::NoDifference => "no-difference",
+            Verdict::QosViolated => "qos-violated",
+            Verdict::SkippedRebootIntolerant => "skipped-reboot-intolerant",
+            Verdict::Inconclusive { .. } => "inconclusive",
+        }
+    }
 }
 
 /// Full record of one A/B test.

@@ -1,0 +1,196 @@
+//! Per-arm CPI-stack capture and knob-win attribution.
+//!
+//! The paper attributes each knob's win to the microarchitectural bound it
+//! relieved — front-end, memory, or core — by comparing TMAM top-down
+//! breakdowns between configurations (Figs. 7–10). This module reproduces
+//! that attribution for A/B arms: after a test completes,
+//! [`ArmCpiStacks::capture`] reads
+//! both arms' peak-load window reports (a pure cache lookup — the
+//! simulation already computed them while the test ran, so probing is
+//! free of RNG side effects and cannot perturb results), and
+//! [`ArmCpiStacks::relieved`] names the bound whose share shrank most.
+//!
+//! The backend category splits into memory and core using the engine's CPI
+//! parts: `backend_memory / total` is the memory-bound share of cycles, and
+//! whatever remains of the TMAM backend fraction is core-bound. That is the
+//! simulator's analogue of the sub-level TMAM drill-down the paper's EMON
+//! methodology performs.
+
+use softsku_archsim::engine::WindowReport;
+use softsku_archsim::tmam::TmamBreakdown;
+use softsku_cluster::env::{AbEnvironment, Arm};
+
+/// The top-level bounds a knob win can be attributed to, matching the
+/// paper's front-end / memory / core triad plus bad speculation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TmamBound {
+    /// Front-end bound: fetch/decode starvation (i-cache, i-TLB, BPU).
+    FrontEnd,
+    /// Bad speculation: wasted issue slots from mispredicted paths.
+    BadSpeculation,
+    /// Backend, memory-bound: data-cache misses and DRAM latency.
+    Memory,
+    /// Backend, core-bound: execution-port and dependency stalls.
+    Core,
+}
+
+impl TmamBound {
+    /// Stable lowercase label used in trace attributes and `skuctl cpi`.
+    pub fn label(self) -> &'static str {
+        match self {
+            TmamBound::FrontEnd => "front-end",
+            TmamBound::BadSpeculation => "bad-speculation",
+            TmamBound::Memory => "memory",
+            TmamBound::Core => "core",
+        }
+    }
+}
+
+impl std::fmt::Display for TmamBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One arm's cycle-accounting profile at peak load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpiStack {
+    /// TMAM top-down slot breakdown (fractions summing to 1).
+    pub tmam: TmamBreakdown,
+    /// Memory-bound share of total cycles (`cpi.backend_memory / cpi.total()`),
+    /// used to split the TMAM backend fraction into memory vs core.
+    pub memory_frac: f64,
+}
+
+impl CpiStack {
+    /// Builds a stack from an engine window report.
+    pub fn from_report(report: &WindowReport) -> CpiStack {
+        let total = report.cpi.total();
+        CpiStack {
+            tmam: report.tmam,
+            memory_frac: if total > 0.0 {
+                report.cpi.backend_memory / total
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// The share of this stack attributed to `bound`. Backend splits into
+    /// memory (from the CPI parts) and core (the remainder, floored at 0).
+    pub fn share(&self, bound: TmamBound) -> f64 {
+        match bound {
+            TmamBound::FrontEnd => self.tmam.frontend,
+            TmamBound::BadSpeculation => self.tmam.bad_speculation,
+            TmamBound::Memory => self.memory_frac.min(self.tmam.backend),
+            TmamBound::Core => (self.tmam.backend - self.memory_frac).max(0.0),
+        }
+    }
+}
+
+/// CPI stacks for both arms of a completed A/B test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArmCpiStacks {
+    /// The baseline arm's stack (arm A).
+    pub baseline: CpiStack,
+    /// The candidate arm's stack (arm B).
+    pub candidate: CpiStack,
+}
+
+/// Every bound, in the fixed order attribution iterates them (ties go to
+/// the earlier entry, so attribution is deterministic).
+pub const ALL_BOUNDS: [TmamBound; 4] = [
+    TmamBound::FrontEnd,
+    TmamBound::BadSpeculation,
+    TmamBound::Memory,
+    TmamBound::Core,
+];
+
+impl ArmCpiStacks {
+    /// Reads both arms' peak-load reports off the environment's simulation
+    /// cache. Returns `None` when either arm's curve is unavailable (the
+    /// probe is strictly best-effort — tracing must never fail a test).
+    ///
+    /// Call this **after** the A/B test ran: the curves were computed (and
+    /// cached) during the test, so this is a read-only lookup with no RNG
+    /// side effects, keeping traced and untraced runs bit-identical.
+    pub fn capture(env: &mut AbEnvironment) -> Option<ArmCpiStacks> {
+        let baseline = env.arm_mut(Arm::A).peak_report().ok()?;
+        let candidate = env.arm_mut(Arm::B).peak_report().ok()?;
+        Some(ArmCpiStacks {
+            baseline: CpiStack::from_report(&baseline),
+            candidate: CpiStack::from_report(&candidate),
+        })
+    }
+
+    /// The bound the candidate relieved most: the largest positive drop in
+    /// share from baseline to candidate, with its magnitude. `None` when no
+    /// bound's share shrank (the win, if any, came from elsewhere — e.g.
+    /// frequency scaling cycles faster without changing their mix).
+    pub fn relieved(&self) -> Option<(TmamBound, f64)> {
+        let mut best: Option<(TmamBound, f64)> = None;
+        for bound in ALL_BOUNDS {
+            let drop = self.baseline.share(bound) - self.candidate.share(bound);
+            if drop > 0.0 && best.is_none_or(|(_, d)| drop > d) {
+                best = Some((bound, drop));
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stack(frontend: f64, bad_spec: f64, backend: f64, memory_frac: f64) -> CpiStack {
+        CpiStack {
+            tmam: TmamBreakdown {
+                retiring: 1.0 - frontend - bad_spec - backend,
+                frontend,
+                bad_speculation: bad_spec,
+                backend,
+            },
+            memory_frac,
+        }
+    }
+
+    #[test]
+    fn backend_splits_into_memory_and_core() {
+        let s = stack(0.2, 0.1, 0.5, 0.3);
+        assert!((s.share(TmamBound::Memory) - 0.3).abs() < 1e-12);
+        assert!((s.share(TmamBound::Core) - 0.2).abs() < 1e-12);
+        // Memory share can never exceed the whole backend fraction.
+        let clamped = stack(0.2, 0.1, 0.3, 0.9);
+        assert!((clamped.share(TmamBound::Memory) - 0.3).abs() < 1e-12);
+        assert_eq!(clamped.share(TmamBound::Core), 0.0);
+    }
+
+    #[test]
+    fn relieved_picks_the_largest_positive_drop() {
+        let stacks = ArmCpiStacks {
+            baseline: stack(0.30, 0.05, 0.40, 0.25),
+            candidate: stack(0.12, 0.05, 0.40, 0.25),
+        };
+        let (bound, drop) = stacks.relieved().expect("front-end clearly relieved");
+        assert_eq!(bound, TmamBound::FrontEnd);
+        assert!((drop - 0.18).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relieved_is_none_when_nothing_improves() {
+        let s = stack(0.2, 0.1, 0.4, 0.25);
+        let stacks = ArmCpiStacks {
+            baseline: s,
+            candidate: s,
+        };
+        assert_eq!(stacks.relieved(), None);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TmamBound::FrontEnd.to_string(), "front-end");
+        assert_eq!(TmamBound::Memory.label(), "memory");
+        assert_eq!(ALL_BOUNDS.len(), 4);
+    }
+}

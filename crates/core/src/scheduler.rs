@@ -29,11 +29,13 @@ use crate::abtest::{AbTestConfig, AbTestResult, AbTester};
 use crate::error::UskuError;
 use crate::map::DesignSpaceMap;
 use crate::metric::PerformanceMetric;
+use crate::profile::{ArmCpiStacks, ALL_BOUNDS};
 use crate::search::{compose, SearchOutcome};
 use softsku_archsim::engine::ServerConfig;
 use softsku_cluster::{AbEnvironment, Arm, EnvConfig};
 use softsku_knobs::{Knob, KnobSetting, KnobSpace};
 use softsku_telemetry::streams::IdentitySeed;
+use softsku_telemetry::trace::{AttrValue, SpanHandle, TraceSink};
 use softsku_telemetry::{Ods, SeriesKey};
 use softsku_workloads::{Microservice, PlatformKind};
 use std::num::NonZeroUsize;
@@ -171,6 +173,32 @@ pub fn plan_exhaustive(
     plan
 }
 
+/// What a replica closure hands back to the scheduler: the A/B verdict,
+/// the simulated time consumed, and (when tracing asked for it) the
+/// per-arm CPI stacks captured after the test.
+#[derive(Debug)]
+pub struct ReplicaOutput {
+    /// The A/B verdict the replica produced.
+    pub result: AbTestResult,
+    /// Simulated machine-seconds the replica consumed.
+    pub sim_time_s: f64,
+    /// Per-arm CPI stacks ([`ArmCpiStacks::capture`]), probed only when a
+    /// trace consumer wants them — results are identical either way since
+    /// the probe is a read-only cache lookup.
+    pub cpi: Option<ArmCpiStacks>,
+}
+
+impl ReplicaOutput {
+    /// An output with no CPI profile attached.
+    pub fn new(result: AbTestResult, sim_time_s: f64) -> Self {
+        ReplicaOutput {
+            result,
+            sim_time_s,
+            cpi: None,
+        }
+    }
+}
+
 /// Completed run of one scheduled unit.
 #[derive(Debug)]
 pub struct ReplicaRun {
@@ -180,6 +208,8 @@ pub struct ReplicaRun {
     pub sim_time_s: f64,
     /// Real wall-clock seconds the test took on its worker.
     pub wall_s: f64,
+    /// Per-arm CPI stacks, when the closure probed them.
+    pub cpi: Option<ArmCpiStacks>,
 }
 
 /// Runs `units` on a scoped worker pool and returns one [`ReplicaRun`] per
@@ -206,7 +236,7 @@ pub fn run_replicas<T, F>(
 ) -> Result<Vec<ReplicaRun>, UskuError>
 where
     T: Sync,
-    F: Fn(&T) -> Result<(AbTestResult, f64), UskuError> + Sync,
+    F: Fn(&T) -> Result<ReplicaOutput, UskuError> + Sync,
 {
     let workers = workers.max(1).min(units.len().max(1));
     let cursor = AtomicUsize::new(0);
@@ -227,10 +257,11 @@ where
                 // detlint::allow(wall_clock): tune.wall_s telemetry only —
                 // wall time is reported to ODS, never fed into a result.
                 let t0 = Instant::now();
-                let outcome = run_one(&units[i]).map(|(result, sim_time_s)| ReplicaRun {
-                    result,
-                    sim_time_s,
+                let outcome = run_one(&units[i]).map(|out| ReplicaRun {
+                    result: out.result,
+                    sim_time_s: out.sim_time_s,
                     wall_s: t0.elapsed().as_secs_f64(),
+                    cpi: out.cpi,
                 });
                 if outcome.is_err() {
                     failed.store(true, Ordering::Relaxed);
@@ -256,6 +287,79 @@ where
         }
     }
     Ok(runs)
+}
+
+/// Records one completed A/B test as a trace span on the sink's current
+/// track: name = the candidate setting, interval = `[start_s, start_s +
+/// sim_time_s)` on the campaign's cumulative sim-time axis, attributes =
+/// the full statistical record (verdict, gain, p-value, relative CI,
+/// sample counts, replica seed) plus both arms' TMAM shares and the bound
+/// the candidate relieved, when the replica probed CPI stacks.
+///
+/// Wall-clock time is deliberately absent: spans are part of the
+/// deterministic view, and `wall_s` is telemetry-only by the workspace
+/// contract.
+pub fn trace_test_span(
+    sink: &mut TraceSink,
+    service: &str,
+    platform: &str,
+    run: &ReplicaRun,
+    seed: u64,
+    start_s: f64,
+    confidence: f64,
+) -> SpanHandle {
+    if !sink.is_enabled() {
+        return SpanHandle::NONE;
+    }
+    let r = &run.result;
+    let h = sink.open("abtest", &r.setting.to_string(), start_s);
+    sink.attr(h, "service", AttrValue::Str(service.to_string()));
+    sink.attr(h, "platform", AttrValue::Str(platform.to_string()));
+    sink.attr(h, "knob", AttrValue::Str(r.setting.knob().to_string()));
+    sink.attr(h, "setting", AttrValue::Str(r.setting.to_string()));
+    sink.attr(h, "verdict", AttrValue::Str(r.verdict.label().to_string()));
+    if let Some(rel) = r.relative_diff() {
+        sink.attr(h, "gain", AttrValue::F64(rel));
+    }
+    if let Some(w) = &r.welch {
+        sink.attr(h, "p_value", AttrValue::F64(w.p_value));
+        if let (Some(b), Some(c)) = (&r.baseline, &r.candidate) {
+            if b.mean() != 0.0 {
+                let (lo, hi) = w.diff_ci(c, b, confidence);
+                sink.attr(h, "ci_lo", AttrValue::F64(lo / b.mean()));
+                sink.attr(h, "ci_hi", AttrValue::F64(hi / b.mean()));
+            }
+        }
+    }
+    sink.attr(h, "samples", AttrValue::Int(r.samples as i64));
+    sink.attr(h, "attempts", AttrValue::Int(r.attempts as i64));
+    sink.attr(
+        h,
+        "rejected_outliers",
+        AttrValue::Int(r.rejected_outliers as i64),
+    );
+    sink.attr(h, "seed", AttrValue::Str(format!("{seed:#018x}")));
+    if let Some(cpi) = &run.cpi {
+        for (arm, stack) in [("baseline", cpi.baseline), ("candidate", cpi.candidate)] {
+            for bound in ALL_BOUNDS {
+                sink.attr(
+                    h,
+                    &format!("tmam.{arm}.{}", bound.label()),
+                    AttrValue::F64(stack.share(bound)),
+                );
+            }
+        }
+        if let Some((bound, drop)) = cpi.relieved() {
+            sink.attr(
+                h,
+                "tmam.relieved",
+                AttrValue::Str(bound.label().to_string()),
+            );
+            sink.attr(h, "tmam.relieved_drop", AttrValue::F64(drop));
+        }
+    }
+    sink.close(h, start_s + run.sim_time_s);
+    h
 }
 
 /// Pre-evaluates the baseline load curve on the proto environment so every
@@ -336,7 +440,8 @@ pub fn parallel_independent_sweep(
     let runs = run_replicas(&plan, schedule.workers.get(), |unit: &TestUnit| {
         let mut env = proto.fork(unit.seed);
         let result = tester.run(&mut env, baseline, unit.setting)?;
-        Ok((result, env.time_s()))
+        let sim_time_s = env.time_s();
+        Ok(ReplicaOutput::new(result, sim_time_s))
     })?;
     let mut map = DesignSpaceMap::new();
     for run in runs {
@@ -382,7 +487,8 @@ pub fn parallel_exhaustive_sweep(
         // joint units; an empty one is a planner bug worth aborting on.
         let label = *unit.settings.last().expect("joint units are non-empty");
         let result = tester.run_config(&mut env, baseline, &unit.config, needs_reboot, label)?;
-        Ok((result, env.time_s()))
+        let sim_time_s = env.time_s();
+        Ok(ReplicaOutput::new(result, sim_time_s))
     })?;
     let mut map = DesignSpaceMap::new();
     for (unit, run) in plan.iter().zip(runs) {
@@ -548,6 +654,28 @@ impl FleetTuner {
         &self,
         targets: &[(Microservice, PlatformKind)],
     ) -> Result<FleetOutcome, UskuError> {
+        self.tune_traced(targets, &mut TraceSink::disabled())
+    }
+
+    /// [`FleetTuner::tune`] with observability: every A/B test becomes a
+    /// span under a per-target campaign span, on a `tune:<service>@<platform>`
+    /// track whose time axis is the campaign's *cumulative simulated
+    /// machine-seconds* (test N starts where test N−1's sim time ended).
+    /// When the sink is enabled, replicas also probe per-arm CPI stacks so
+    /// each span carries TMAM attribution ([`trace_test_span`]).
+    ///
+    /// Spans are recorded here, post-merge, in canonical plan order — never
+    /// from workers — so the trace is bit-identical for any worker count,
+    /// and results are bit-identical with tracing on or off.
+    ///
+    /// # Errors
+    ///
+    /// Workload-resolution, environment, and tester errors.
+    pub fn tune_traced(
+        &self,
+        targets: &[(Microservice, PlatformKind)],
+        sink: &mut TraceSink,
+    ) -> Result<FleetOutcome, UskuError> {
         struct Target {
             service: Microservice,
             platform: PlatformKind,
@@ -598,13 +726,21 @@ impl FleetTuner {
         }
 
         let prepared_ref = &prepared;
+        let probe_cpi = sink.is_enabled();
         let runs = run_replicas(&plan, self.workers.get(), |fu: &FleetUnit| {
             let target = &prepared_ref[fu.target_idx];
             let mut env = target.proto.fork(fu.unit.seed);
             let result = target
                 .tester
                 .run(&mut env, &target.baseline, fu.unit.setting)?;
-            Ok((result, env.time_s()))
+            // Read sim time before the (read-only) CPI probe so traced and
+            // untraced runs report identical numbers.
+            let sim_time_s = env.time_s();
+            let mut out = ReplicaOutput::new(result, sim_time_s);
+            if probe_cpi {
+                out.cpi = ArmCpiStacks::capture(&mut env);
+            }
+            Ok(out)
         })?;
 
         // Reassemble per target in canonical order and lay down the ODS
@@ -615,7 +751,7 @@ impl FleetTuner {
         let mut sim_time: Vec<f64> = vec![0.0; prepared.len()];
         let mut wall: Vec<f64> = vec![0.0; prepared.len()];
         let mut per_target_idx: Vec<usize> = vec![0; prepared.len()];
-        for (fu, run) in plan.iter().zip(runs) {
+        for (fu, run) in plan.iter().zip(&runs) {
             let target = &prepared[fu.target_idx];
             let entity = format!("{}@{}", target.service, target.platform);
             let idx = per_target_idx[fu.target_idx];
@@ -637,7 +773,48 @@ impl FleetTuner {
             .expect("plan index is monotone per series");
             sim_time[fu.target_idx] += run.sim_time_s;
             wall[fu.target_idx] += run.wall_s;
-            maps[fu.target_idx].record(run.result);
+            maps[fu.target_idx].record(run.result.clone());
+        }
+
+        // Lay down the trace: one campaign span per target on its own
+        // track, one child span per test at its cumulative sim-time offset.
+        // Plan order groups units by target, so campaigns never interleave.
+        if sink.is_enabled() {
+            let mut cursor: Vec<f64> = vec![0.0; prepared.len()];
+            let mut open: Option<(usize, SpanHandle)> = None;
+            for (fu, run) in plan.iter().zip(&runs) {
+                if open.map(|(t, _)| t) != Some(fu.target_idx) {
+                    if let Some((t, h)) = open.take() {
+                        sink.close(h, sim_time[t]);
+                    }
+                    let target = &prepared[fu.target_idx];
+                    let entity = format!("{}@{}", target.service.name(), target.platform);
+                    let track = sink.track(&format!("tune:{entity}"));
+                    sink.set_track(track);
+                    let h = sink.open("tune", &format!("campaign {entity}"), 0.0);
+                    sink.attr(
+                        h,
+                        "service",
+                        AttrValue::Str(target.service.name().to_string()),
+                    );
+                    sink.attr(h, "platform", AttrValue::Str(target.platform.to_string()));
+                    open = Some((fu.target_idx, h));
+                }
+                let target = &prepared[fu.target_idx];
+                trace_test_span(
+                    sink,
+                    target.service.name(),
+                    &target.platform.to_string(),
+                    run,
+                    fu.unit.seed,
+                    cursor[fu.target_idx],
+                    self.abtest.confidence,
+                );
+                cursor[fu.target_idx] += run.sim_time_s;
+            }
+            if let Some((t, h)) = open.take() {
+                sink.close(h, sim_time[t]);
+            }
         }
 
         let mut services = Vec::with_capacity(prepared.len());

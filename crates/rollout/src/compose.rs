@@ -14,11 +14,13 @@ use softsku_archsim::engine::ServerConfig;
 use softsku_cluster::AbEnvironment;
 use softsku_knobs::{Knob, KnobSetting};
 use softsku_telemetry::streams::IdentitySeed;
+use softsku_telemetry::trace::{AttrValue, TraceSink};
 use std::num::NonZeroUsize;
 use usku::abtest::{AbTestConfig, AbTestResult, AbTester};
 use usku::map::DesignSpaceMap;
 use usku::metric::PerformanceMetric;
-use usku::scheduler::run_replicas;
+use usku::profile::ArmCpiStacks;
+use usku::scheduler::{run_replicas, trace_test_span, ReplicaOutput};
 
 /// Validation parameters of the composer.
 #[derive(Debug, Clone, Copy)]
@@ -86,6 +88,8 @@ pub struct CandidateValidation {
     pub replicas: usize,
     /// The per-replica A/B results, in replica order.
     pub results: Vec<AbTestResult>,
+    /// Simulated machine-seconds consumed across the replicas.
+    pub sim_time_s: f64,
 }
 
 /// The composed-SKU outcome.
@@ -111,6 +115,18 @@ impl Composition {
             CompositionDecision::Composed { knobs } => knobs.clone(),
             CompositionDecision::PerKnobFallback { knob, .. } => vec![*knob],
             CompositionDecision::Baseline => Vec::new(),
+        }
+    }
+}
+
+impl CompositionDecision {
+    /// Stable lowercase category label, used as a trace attribute and in
+    /// `skuctl` output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompositionDecision::Composed { .. } => "composed",
+            CompositionDecision::PerKnobFallback { .. } => "per-knob-fallback",
+            CompositionDecision::Baseline => "baseline",
         }
     }
 }
@@ -172,6 +188,57 @@ impl SkuComposer {
         baseline: &ServerConfig,
         map: &DesignSpaceMap,
     ) -> Result<Composition, RolloutError> {
+        self.compose_traced(proto, baseline, map, &mut TraceSink::disabled())
+    }
+
+    /// [`SkuComposer::compose`] with observability: a root `compose` span
+    /// on the sink's current track (time axis = cumulative validation
+    /// sim time) carrying the decision and measured gain, one child span
+    /// per joint validation, and one grandchild span per validation
+    /// replica with the full A/B record and per-arm TMAM attribution.
+    ///
+    /// Spans are recorded post-merge in canonical order; the composition
+    /// outcome is bit-identical with tracing on or off.
+    ///
+    /// # Errors
+    ///
+    /// Tester/environment errors; rejections are decisions, not errors.
+    pub fn compose_traced(
+        &self,
+        proto: &mut AbEnvironment,
+        baseline: &ServerConfig,
+        map: &DesignSpaceMap,
+        sink: &mut TraceSink,
+    ) -> Result<Composition, RolloutError> {
+        let service = proto.profile().service.name().to_string();
+        let root = sink.open("compose", &format!("compose {service}"), 0.0);
+        sink.attr(root, "service", AttrValue::Str(service));
+        let mut cursor = 0.0;
+        let result = self.compose_inner(proto, baseline, map, sink, &mut cursor);
+        match &result {
+            Ok(c) => {
+                sink.attr(
+                    root,
+                    "decision",
+                    AttrValue::Str(c.decision.label().to_string()),
+                );
+                sink.attr(root, "measured_gain", AttrValue::F64(c.measured_gain));
+                sink.attr(root, "winners", AttrValue::Int(c.winners.len() as i64));
+            }
+            Err(_) => sink.attr(root, "decision", AttrValue::Str("error".to_string())),
+        }
+        sink.close(root, cursor);
+        result
+    }
+
+    fn compose_inner(
+        &self,
+        proto: &mut AbEnvironment,
+        baseline: &ServerConfig,
+        map: &DesignSpaceMap,
+        sink: &mut TraceSink,
+        cursor: &mut f64,
+    ) -> Result<Composition, RolloutError> {
         let winners = map.winners();
         let mut validations = Vec::new();
         if winners.is_empty() {
@@ -198,8 +265,15 @@ impl SkuComposer {
             .join(" + ");
         warm_baseline(proto, baseline);
 
-        let composed_v =
-            self.validate(proto, baseline, &composed, composed_label, &composed_name)?;
+        let composed_v = self.validate(
+            proto,
+            baseline,
+            &composed,
+            composed_label,
+            &composed_name,
+            sink,
+            cursor,
+        )?;
         let composed_accepted = composed_v.accepted;
         let composed_gain = composed_v.gain;
         validations.push(composed_v);
@@ -226,7 +300,7 @@ impl SkuComposer {
         // Interaction detection: measure the strongest single claim under
         // the same validation regime and compare measured gains.
         let (bk, bs, _) = map.best_single().expect("winners exist");
-        let single_v = self.validate_single(proto, baseline, bs)?;
+        let single_v = self.validate_single(proto, baseline, bs, sink, cursor)?;
         let single_accepted = single_v.accepted;
         let single_gain = single_v.gain;
         validations.push(single_v);
@@ -270,7 +344,7 @@ impl SkuComposer {
             if setting == bs {
                 continue; // already measured above
             }
-            let v = self.validate_single(proto, baseline, setting)?;
+            let v = self.validate_single(proto, baseline, setting, sink, cursor)?;
             let accepted = v.accepted;
             let gain = v.gain;
             validations.push(v);
@@ -325,15 +399,31 @@ impl SkuComposer {
         proto: &AbEnvironment,
         baseline: &ServerConfig,
         setting: KnobSetting,
+        sink: &mut TraceSink,
+        cursor: &mut f64,
     ) -> Result<CandidateValidation, RolloutError> {
         let mut config = baseline.clone();
         setting.apply(&mut config).map_err(usku::UskuError::Knob)?;
-        self.validate(proto, baseline, &config, setting, &setting.to_string())
+        self.validate(
+            proto,
+            baseline,
+            &config,
+            setting,
+            &setting.to_string(),
+            sink,
+            cursor,
+        )
     }
 
     /// Validates one candidate configuration on `replicas` forked
     /// environments, each seeded purely from the candidate's identity and
     /// the replica index — the verdict cannot depend on worker count.
+    ///
+    /// When the sink is enabled, records a `compose.validate` span at the
+    /// caller's cumulative sim-time cursor with one child span per replica
+    /// (spans laid down post-merge, in replica order), and advances the
+    /// cursor by the validation's total simulated time.
+    #[allow(clippy::too_many_arguments)]
     fn validate(
         &self,
         proto: &AbEnvironment,
@@ -341,8 +431,11 @@ impl SkuComposer {
         candidate: &ServerConfig,
         label: KnobSetting,
         name: &str,
+        sink: &mut TraceSink,
+        cursor: &mut f64,
     ) -> Result<CandidateValidation, RolloutError> {
         let service = proto.profile().service.name();
+        let platform = proto.profile().platform.to_string();
         let units: Vec<ValidationUnit> = (0..self.config.replicas.max(1))
             .map(|i| ValidationUnit {
                 seed: IdentitySeed::new(self.base_seed)
@@ -355,17 +448,28 @@ impl SkuComposer {
             .collect();
         let needs_reboot = candidate.active_cores != baseline.active_cores
             || candidate.shp_pages != baseline.shp_pages;
+        let probe_cpi = sink.is_enabled();
         let runs = run_replicas(&units, self.workers.get(), |unit: &ValidationUnit| {
             let mut env = proto.fork(unit.seed);
             let result =
                 self.tester
                     .run_config(&mut env, baseline, candidate, needs_reboot, label)?;
-            Ok((result, env.time_s()))
+            // Sim time read before the (read-only) CPI probe, so traced and
+            // untraced runs report identical numbers.
+            let sim_time_s = env.time_s();
+            let mut out = ReplicaOutput::new(result, sim_time_s);
+            if probe_cpi {
+                out.cpi = ArmCpiStacks::capture(&mut env);
+            }
+            Ok(out)
         })
         .map_err(RolloutError::Usku)?;
 
-        let results: Vec<AbTestResult> = runs.into_iter().map(|r| r.result).collect();
-        let mut gains: Vec<f64> = results.iter().filter_map(|r| r.verdict.gain()).collect();
+        let sim_time_s: f64 = runs.iter().map(|r| r.sim_time_s).sum();
+        let mut gains: Vec<f64> = runs
+            .iter()
+            .filter_map(|r| r.result.verdict.gain())
+            .collect();
         gains.sort_by(f64::total_cmp);
         let better_votes = gains.len();
         let accepted = better_votes * 2 > units.len();
@@ -376,6 +480,32 @@ impl SkuComposer {
         } else {
             0.0
         };
+
+        if sink.is_enabled() {
+            let span = sink.open("compose.validate", name, *cursor);
+            sink.attr(span, "candidate", AttrValue::Str(name.to_string()));
+            sink.attr(span, "accepted", AttrValue::Bool(accepted));
+            sink.attr(span, "gain", AttrValue::F64(gain));
+            sink.attr(span, "better_votes", AttrValue::Int(better_votes as i64));
+            sink.attr(span, "replicas", AttrValue::Int(units.len() as i64));
+            let mut t = *cursor;
+            for (unit, run) in units.iter().zip(&runs) {
+                trace_test_span(
+                    sink,
+                    service,
+                    &platform,
+                    run,
+                    unit.seed,
+                    t,
+                    self.tester.config().confidence,
+                );
+                t += run.sim_time_s;
+            }
+            sink.close(span, *cursor + sim_time_s);
+        }
+        *cursor += sim_time_s;
+
+        let results: Vec<AbTestResult> = runs.into_iter().map(|r| r.result).collect();
         Ok(CandidateValidation {
             label: name.to_string(),
             accepted,
@@ -383,6 +513,7 @@ impl SkuComposer {
             better_votes,
             replicas: units.len(),
             results,
+            sim_time_s,
         })
     }
 }

@@ -13,7 +13,8 @@ use softsku_cluster::StagedFleet;
 use softsku_knobs::Knob;
 use softsku_telemetry::stats::{welch_test, RunningStats};
 use softsku_telemetry::streams::{stream_seed, IdentitySeed, StreamFamily};
-use softsku_telemetry::{Ods, SeriesKey};
+use softsku_telemetry::trace::{AttrValue, TraceSink};
+use softsku_telemetry::{SeriesKey, TieredOds};
 use softsku_workloads::{Microservice, PlatformKind};
 
 /// Drift-detection parameters.
@@ -155,12 +156,39 @@ impl DriftMonitor {
         &self,
         fleet: &mut StagedFleet,
         sku: &DeployedSku,
-        ods: &mut Ods,
+        ods: &mut TieredOds,
+    ) -> Result<DriftOutcome, RolloutError> {
+        self.watch_traced(fleet, sku, ods, &mut TraceSink::disabled())
+    }
+
+    /// [`DriftMonitor::watch`] with observability: a root `drift` span on
+    /// the sink's current track (time axis = the fleet's simulated clock),
+    /// one child span per rolling window carrying its gain and upper
+    /// confidence bound, a `drift.gain` counter per window, and — when
+    /// drift fires — an instant `retune.request` event carrying the derived
+    /// campaign seed and its `rollout.retune` stream family.
+    ///
+    /// The verdict and ledger contents are bit-identical with tracing on
+    /// or off.
+    ///
+    /// # Errors
+    ///
+    /// Fleet/engine errors and ODS append errors.
+    pub fn watch_traced(
+        &self,
+        fleet: &mut StagedFleet,
+        sku: &DeployedSku,
+        ods: &mut TieredOds,
+        sink: &mut TraceSink,
     ) -> Result<DriftOutcome, RolloutError> {
         let service = sku.service.name();
+        let root = sink.open("drift", &format!("drift {service}"), fleet.time_s());
+        sink.attr(root, "service", AttrValue::Str(service.to_string()));
+        sink.attr(root, "min_gain", AttrValue::F64(self.config.min_gain));
         let mut windows = Vec::new();
         let mut last_gain = 0.0;
         for window in 0..self.config.max_windows.max(1) {
+            let window_start = fleet.time_s();
             let mut base = RunningStats::new();
             let mut cand = RunningStats::new();
             for _ in 0..self.config.window_ticks.max(2) {
@@ -177,17 +205,20 @@ impl DriftMonitor {
                 gain,
                 upper_ci,
             });
-            ods.append(
-                &SeriesKey::new(service, "rollout.drift_gain"),
-                fleet.time_s(),
-                gain,
-            )?;
+            let now = fleet.time_s();
+            let span = sink.leaf(
+                "drift.window",
+                &format!("window {window}"),
+                window_start,
+                now - window_start,
+            );
+            sink.attr(span, "window", AttrValue::Int(window as i64));
+            sink.attr(span, "gain", AttrValue::F64(gain));
+            sink.attr(span, "upper_ci", AttrValue::F64(upper_ci));
+            sink.counter("drift.gain", now, gain);
+            ods.append(&SeriesKey::new(service, "rollout.drift_gain"), now, gain)?;
             if upper_ci < self.config.min_gain {
-                ods.append(
-                    &SeriesKey::new(service, "rollout.drift"),
-                    fleet.time_s(),
-                    upper_ci,
-                )?;
+                ods.append(&SeriesKey::new(service, "rollout.drift"), now, upper_ci)?;
                 let retune = RetuneRequest {
                     service: sku.service,
                     platform: sku.platform,
@@ -196,21 +227,39 @@ impl DriftMonitor {
                 };
                 ods.append(
                     &SeriesKey::new(service, "rollout.retune"),
-                    fleet.time_s(),
+                    now,
                     window as f64,
                 )?;
+                let ev = sink.leaf("drift.event", "retune.request", now, 0.0);
+                sink.attr(ev, "window", AttrValue::Int(window as i64));
+                sink.attr(ev, "upper_ci", AttrValue::F64(upper_ci));
+                sink.attr(
+                    ev,
+                    "seed",
+                    AttrValue::Str(format!("{:#018x}", retune.base_seed)),
+                );
+                sink.attr(
+                    ev,
+                    "stream_family",
+                    AttrValue::Str(StreamFamily::RolloutRetune.name().to_string()),
+                );
+                let verdict = DriftVerdict::Drifted {
+                    window,
+                    gain,
+                    upper_ci,
+                    code_pushes: fleet.code_pushes(),
+                };
+                sink.attr(root, "verdict", AttrValue::Str("drifted".to_string()));
+                sink.close(root, now);
                 return Ok(DriftOutcome {
-                    verdict: DriftVerdict::Drifted {
-                        window,
-                        gain,
-                        upper_ci,
-                        code_pushes: fleet.code_pushes(),
-                    },
+                    verdict,
                     windows,
                     retune: Some(retune),
                 });
             }
         }
+        sink.attr(root, "verdict", AttrValue::Str("healthy".to_string()));
+        sink.close(root, fleet.time_s());
         Ok(DriftOutcome {
             verdict: DriftVerdict::Healthy {
                 windows: windows.len(),

@@ -19,7 +19,8 @@ use softsku_archsim::engine::ServerConfig;
 use softsku_cluster::{AbEnvironment, EnvConfig, StagedFleet, StagedFleetConfig};
 use softsku_knobs::Knob;
 use softsku_telemetry::streams::IdentitySeed;
-use softsku_telemetry::Ods;
+use softsku_telemetry::trace::{AttrValue, TraceSink};
+use softsku_telemetry::{Ods, TieredOds};
 use softsku_workloads::{Microservice, PlatformKind};
 use std::num::NonZeroUsize;
 use usku::abtest::AbTestConfig;
@@ -116,8 +117,10 @@ pub struct LifecycleReport {
     /// one ledger per tuning campaign in run order — separate ledgers
     /// because each campaign restarts its plan-indexed time axis.
     pub tuning: Vec<Ods>,
-    /// The `rollout.*` transition ledger, one continuous fleet-time axis.
-    pub rollout_ods: Ods,
+    /// The `rollout.*` transition ledger, one continuous fleet-time axis,
+    /// stored with tiered retention ([`TieredOds::rollout_ledger`]) so a
+    /// long-lived fleet runs on bounded memory.
+    pub rollout_ods: TieredOds,
 }
 
 impl LifecycleReport {
@@ -211,18 +214,87 @@ impl RolloutPipeline {
         platform: PlatformKind,
         knobs: &[Knob],
     ) -> Result<LifecycleReport, RolloutError> {
+        self.run_traced(service, platform, knobs, &mut TraceSink::disabled())
+    }
+
+    /// [`RolloutPipeline::run`] with observability: the whole lifecycle
+    /// becomes one span tree. A `lifecycle` root span (on a `lifecycle`
+    /// track whose synthetic time axis counts phases) holds one `phase`
+    /// span per step — tune, compose, rollout, drift, and the re-tuned
+    /// second cycle — and each step's own spans nest inside its phase:
+    /// tuning campaigns on `tune:<service>@<platform>` tracks (cumulative
+    /// sim-seconds), composition on `compose#N` tracks (validation
+    /// sim-seconds), rollout and drift on the shared `fleet` track (the
+    /// staged fleet's continuous simulated clock).
+    ///
+    /// Everything is recorded on this orchestration thread in canonical
+    /// order, so the trace — like the report — is a pure function of
+    /// `(config, seed)`: bit-identical across worker counts and across
+    /// traced/untraced runs.
+    ///
+    /// # Errors
+    ///
+    /// Tuning, environment, fleet, and telemetry errors.
+    pub fn run_traced(
+        &self,
+        service: Microservice,
+        platform: PlatformKind,
+        knobs: &[Knob],
+        sink: &mut TraceSink,
+    ) -> Result<LifecycleReport, RolloutError> {
+        let lifecycle_track = sink.track("lifecycle");
+        sink.set_track(lifecycle_track);
+        let root = sink.open("lifecycle", &format!("lifecycle {}", service.name()), 0.0);
+        sink.attr(root, "service", AttrValue::Str(service.name().to_string()));
+        sink.attr(root, "platform", AttrValue::Str(platform.to_string()));
+        sink.attr(
+            root,
+            "base_seed",
+            AttrValue::Str(format!("{:#018x}", self.config.base_seed)),
+        );
+        let mut phases = 0.0;
+        let result = self.run_inner(service, platform, knobs, sink, lifecycle_track, &mut phases);
+        sink.set_track(lifecycle_track);
+        if let Ok(r) = &result {
+            sink.attr(root, "deployed", AttrValue::Bool(r.deployed()));
+        }
+        sink.close(root, phases);
+        result
+    }
+
+    /// The lifecycle body; `phases` counts completed phase spans on the
+    /// `lifecycle` track's synthetic axis.
+    fn run_inner(
+        &self,
+        service: Microservice,
+        platform: PlatformKind,
+        knobs: &[Knob],
+        sink: &mut TraceSink,
+        lifecycle_track: u32,
+        phases: &mut f64,
+    ) -> Result<LifecycleReport, RolloutError> {
         let cfg = &self.config;
         let profile = service.profile(platform)?;
         let baseline = profile.production_config.clone();
         let mut tuning = Vec::new();
-        let mut rollout_ods = Ods::new();
+        let mut rollout_ods = TieredOds::rollout_ledger();
 
         // 1. Tune: the core fleet tuner sweeps the knob subset.
-        let (map, ods) = self.tune(service, platform, knobs, cfg.base_seed)?;
+        let ph = sink.open("phase", "tune", *phases);
+        let (map, ods) = self.tune(service, platform, knobs, cfg.base_seed, sink)?;
+        sink.set_track(lifecycle_track);
+        sink.close(ph, *phases + 1.0);
+        *phases += 1.0;
         tuning.push(ods);
 
         // 2. Compose the winners and validate jointly.
-        let composition = self.compose(service, platform, &baseline, &map, cfg.base_seed)?;
+        let ph = sink.open("phase", "compose", *phases);
+        let track = sink.track("compose#0");
+        sink.set_track(track);
+        let composition = self.compose(service, platform, &baseline, &map, cfg.base_seed, sink)?;
+        sink.set_track(lifecycle_track);
+        sink.close(ph, *phases + 1.0);
+        *phases += 1.0;
 
         if composition.decision == crate::compose::CompositionDecision::Baseline {
             return Ok(LifecycleReport {
@@ -253,7 +325,13 @@ impl RolloutPipeline {
             fleet_seed,
         )?;
         let mut rollout = StagedRollout::new(cfg.rollout.clone());
-        let report = rollout.execute(&mut fleet, service.name(), &mut rollout_ods)?;
+        let ph = sink.open("phase", "rollout", *phases);
+        let track = sink.track("fleet");
+        sink.set_track(track);
+        let report = rollout.execute_traced(&mut fleet, service.name(), &mut rollout_ods, sink)?;
+        sink.set_track(lifecycle_track);
+        sink.close(ph, *phases + 1.0);
+        *phases += 1.0;
         let deployed_knobs = composition.deployed_knobs();
         let initial = CycleReport {
             composition,
@@ -279,7 +357,13 @@ impl RolloutPipeline {
             base_seed: cfg.base_seed,
         };
         let monitor = DriftMonitor::new(cfg.drift);
-        let drift = monitor.watch(&mut fleet, &sku, &mut rollout_ods)?;
+        let ph = sink.open("phase", "drift", *phases);
+        let track = sink.track("fleet");
+        sink.set_track(track);
+        let drift = monitor.watch_traced(&mut fleet, &sku, &mut rollout_ods, sink)?;
+        sink.set_track(lifecycle_track);
+        sink.close(ph, *phases + 1.0);
+        *phases += 1.0;
         let Some(request) = drift.retune.clone() else {
             return Ok(LifecycleReport {
                 service,
@@ -294,15 +378,32 @@ impl RolloutPipeline {
 
         // 5. Scoped re-tune against current code, then re-deploy through
         // the same staged guardrails on the same live fleet.
+        let ph = sink.open("phase", "re-tune", *phases);
         let (remap, ods) = self.tune(
             request.service,
             request.platform,
             &request.knobs,
             request.base_seed,
+            sink,
         )?;
+        sink.set_track(lifecycle_track);
+        sink.close(ph, *phases + 1.0);
+        *phases += 1.0;
         tuning.push(ods);
-        let recomposition =
-            self.compose(service, platform, &baseline, &remap, request.base_seed)?;
+        let ph = sink.open("phase", "re-compose", *phases);
+        let track = sink.track("compose#1");
+        sink.set_track(track);
+        let recomposition = self.compose(
+            service,
+            platform,
+            &baseline,
+            &remap,
+            request.base_seed,
+            sink,
+        )?;
+        sink.set_track(lifecycle_track);
+        sink.close(ph, *phases + 1.0);
+        *phases += 1.0;
         let winners = remap.winners().len();
         let cycle = if recomposition.decision == crate::compose::CompositionDecision::Baseline {
             // Nothing validated; the fleet stays rolled back to baseline.
@@ -316,7 +417,13 @@ impl RolloutPipeline {
                 || recomposition.config.shp_pages != baseline.shp_pages;
             fleet.deploy_candidate(recomposition.config.clone(), needs_reboot)?;
             let mut redo = StagedRollout::new(cfg.rollout.clone());
-            let report = redo.execute(&mut fleet, service.name(), &mut rollout_ods)?;
+            let ph = sink.open("phase", "re-rollout", *phases);
+            let track = sink.track("fleet");
+            sink.set_track(track);
+            let report = redo.execute_traced(&mut fleet, service.name(), &mut rollout_ods, sink)?;
+            sink.set_track(lifecycle_track);
+            sink.close(ph, *phases + 1.0);
+            *phases += 1.0;
             CycleReport {
                 composition: recomposition,
                 rollout: Some(report),
@@ -344,12 +451,13 @@ impl RolloutPipeline {
         platform: PlatformKind,
         knobs: &[Knob],
         base_seed: u64,
+        sink: &mut TraceSink,
     ) -> Result<(DesignSpaceMap, Ods), RolloutError> {
         let cfg = &self.config;
         let tuner = FleetTuner::new(cfg.abtest, cfg.env, base_seed)
             .with_workers(cfg.workers)
             .with_knobs(knobs.to_vec());
-        let mut outcome = tuner.tune(&[(service, platform)])?;
+        let mut outcome = tuner.tune_traced(&[(service, platform)], sink)?;
         // tune() returns one ServiceTuning per target; exactly one target.
         let tuned = outcome.services.pop().expect("one target, one tuning");
         Ok((tuned.outcome.map, outcome.ods))
@@ -357,6 +465,7 @@ impl RolloutPipeline {
 
     /// One composition pass on a fresh proto environment derived from
     /// `base_seed`.
+    #[allow(clippy::too_many_arguments)]
     fn compose(
         &self,
         service: Microservice,
@@ -364,6 +473,7 @@ impl RolloutPipeline {
         baseline: &ServerConfig,
         map: &DesignSpaceMap,
         base_seed: u64,
+        sink: &mut TraceSink,
     ) -> Result<Composition, RolloutError> {
         let cfg = &self.config;
         let proto_seed = IdentitySeed::new(base_seed)
@@ -380,6 +490,6 @@ impl RolloutPipeline {
             base_seed,
         )
         .with_workers(cfg.workers);
-        composer.compose(&mut proto, baseline, map)
+        composer.compose_traced(&mut proto, baseline, map, sink)
     }
 }

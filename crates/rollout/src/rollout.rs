@@ -12,7 +12,8 @@
 use crate::error::RolloutError;
 use softsku_cluster::{StagedFleet, StagedSample};
 use softsku_telemetry::stats::{welch_test, MadFilter, RunningStats};
-use softsku_telemetry::{Ods, SeriesKey};
+use softsku_telemetry::trace::{AttrValue, TraceSink};
+use softsku_telemetry::{SeriesKey, TieredOds};
 
 /// Guardrail and pacing parameters of a staged rollout.
 #[derive(Debug, Clone)]
@@ -164,51 +165,97 @@ impl StagedRollout {
         &mut self,
         fleet: &mut StagedFleet,
         service: &str,
-        ods: &mut Ods,
+        ods: &mut TieredOds,
     ) -> Result<RolloutReport, RolloutError> {
+        self.execute_traced(fleet, service, ods, &mut TraceSink::disabled())
+    }
+
+    /// [`StagedRollout::execute`] with observability: a root `rollout` span
+    /// on the sink's current track (time axis = the fleet's simulated
+    /// clock), one child span per canary stage carrying the stage's
+    /// statistics and verdict, instant leaf events for every promotion,
+    /// rollback, and deployment, and a `rollout.relative_diff` counter
+    /// sampled at each stage end.
+    ///
+    /// The rollout outcome and ledger contents are bit-identical with
+    /// tracing on or off.
+    ///
+    /// # Errors
+    ///
+    /// Fleet/engine errors and ODS append errors.
+    pub fn execute_traced(
+        &mut self,
+        fleet: &mut StagedFleet,
+        service: &str,
+        ods: &mut TieredOds,
+        sink: &mut TraceSink,
+    ) -> Result<RolloutReport, RolloutError> {
+        let root = sink.open("rollout", &format!("rollout {service}"), fleet.time_s());
+        sink.attr(root, "service", AttrValue::Str(service.to_string()));
+        sink.attr(
+            root,
+            "stages",
+            AttrValue::Int(self.config.stages.len() as i64),
+        );
         let mut stages = Vec::with_capacity(self.config.stages.len());
         for (idx, &fraction) in self.config.stages.iter().enumerate() {
             self.state = RolloutState::Canary { stage: idx };
             let staged = fleet.stage_to(fraction);
+            let stage_start = fleet.time_s();
             ods.append(
                 &SeriesKey::new(service, "rollout.stage"),
-                fleet.time_s(),
+                stage_start,
                 fraction,
             )?;
+            let span = sink.open("rollout.stage", &format!("stage {idx}"), stage_start);
             let report = self.observe_stage(fleet, fraction, staged)?;
+            let now = fleet.time_s();
+            sink.attr(span, "fraction", AttrValue::F64(fraction));
+            sink.attr(
+                span,
+                "candidate_replicas",
+                AttrValue::Int(report.candidate_replicas as i64),
+            );
+            sink.attr(span, "ticks", AttrValue::Int(report.ticks as i64));
+            sink.attr(span, "screened", AttrValue::Int(report.screened as i64));
+            sink.attr(span, "baseline_qps", AttrValue::F64(report.baseline_qps));
+            sink.attr(span, "candidate_qps", AttrValue::F64(report.candidate_qps));
+            sink.attr(span, "relative_diff", AttrValue::F64(report.relative_diff));
+            if let Some(v) = report.violation {
+                sink.attr(span, "violation", AttrValue::Str(format!("{v:?}")));
+            }
+            sink.counter("rollout.relative_diff", now, report.relative_diff);
             let violated = report.violation.is_some();
             let diff = report.relative_diff;
             stages.push(report);
             if violated {
                 fleet.rollback();
-                ods.append(
-                    &SeriesKey::new(service, "rollout.violation"),
-                    fleet.time_s(),
-                    diff,
-                )?;
-                ods.append(
-                    &SeriesKey::new(service, "rollout.rollback"),
-                    fleet.time_s(),
-                    idx as f64,
-                )?;
+                let t = fleet.time_s();
+                ods.append(&SeriesKey::new(service, "rollout.violation"), t, diff)?;
+                ods.append(&SeriesKey::new(service, "rollout.rollback"), t, idx as f64)?;
+                let ev = sink.leaf("rollout.event", "rollback", t, 0.0);
+                sink.attr(ev, "stage", AttrValue::Int(idx as i64));
+                sink.attr(ev, "relative_diff", AttrValue::F64(diff));
+                sink.close(span, t);
                 self.state = RolloutState::RolledBack { stage: idx };
+                sink.attr(root, "state", AttrValue::Str("rolled-back".to_string()));
+                sink.close(root, t);
                 return Ok(RolloutReport {
                     state: self.state,
                     stages,
                 });
             }
-            ods.append(
-                &SeriesKey::new(service, "rollout.promote"),
-                fleet.time_s(),
-                idx as f64,
-            )?;
+            ods.append(&SeriesKey::new(service, "rollout.promote"), now, idx as f64)?;
+            let ev = sink.leaf("rollout.event", "promote", now, 0.0);
+            sink.attr(ev, "stage", AttrValue::Int(idx as i64));
+            sink.close(span, now);
         }
         self.state = RolloutState::Deployed;
-        ods.append(
-            &SeriesKey::new(service, "rollout.deployed"),
-            fleet.time_s(),
-            1.0,
-        )?;
+        let t = fleet.time_s();
+        ods.append(&SeriesKey::new(service, "rollout.deployed"), t, 1.0)?;
+        sink.leaf("rollout.event", "deployed", t, 0.0);
+        sink.attr(root, "state", AttrValue::Str("deployed".to_string()));
+        sink.close(root, t);
         Ok(RolloutReport {
             state: self.state,
             stages,

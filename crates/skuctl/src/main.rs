@@ -1,0 +1,236 @@
+//! `skuctl` — inspect a deterministic traced soft-SKU lifecycle run.
+//!
+//! Runs the full tune → compose → staged rollout → drift → re-tune
+//! lifecycle with tracing enabled (everything is a pure function of
+//! `(config, seed)`, so two invocations with the same flags print the same
+//! bytes), then answers questions about it:
+//!
+//! ```text
+//! skuctl spans  [flags]   # render the sim-time span tree
+//! skuctl cpi    [flags]   # per-arm CPI stacks: which TMAM bound each knob win relieved
+//! skuctl ledger [flags]   # the tiered-retention rollout.* ODS ledger
+//! skuctl export [flags]   # write Chrome trace-event JSON (Perfetto-loadable)
+//!
+//! flags: --service <name>  microservice to tune          [web]
+//!        --seed <u64>      base seed                     [21]
+//!        --workers <n>     scheduler workers             [machine width]
+//!        --out <path>      export path                   [trace.json]
+//!        --smoke           print a trailing "smoke ok" marker for CI
+//! ```
+
+use softsku_knobs::Knob;
+use softsku_rollout::{LifecycleReport, PipelineConfig, RolloutPipeline};
+use softsku_telemetry::trace::{AttrValue, TraceSink, TraceSpan};
+use softsku_workloads::{Microservice, PlatformKind};
+use std::num::NonZeroUsize;
+
+type BoxError = Box<dyn std::error::Error>;
+
+const USAGE: &str = "usage: skuctl <spans|cpi|ledger|export> \
+[--service <name>] [--seed <u64>] [--workers <n>] [--out <path>] [--smoke]";
+
+/// Parsed command line.
+struct Args {
+    command: String,
+    service: Microservice,
+    seed: u64,
+    workers: NonZeroUsize,
+    out: String,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, BoxError> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or(USAGE)?;
+    let mut parsed = Args {
+        command,
+        service: Microservice::Web,
+        seed: 21,
+        workers: usku::scheduler::default_workers(),
+        out: "trace.json".to_string(),
+        smoke: false,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| -> Result<String, BoxError> {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}").into())
+        };
+        match flag.as_str() {
+            "--service" => parsed.service = Microservice::from_name(&value("--service")?)?,
+            "--seed" => parsed.seed = value("--seed")?.parse()?,
+            "--workers" => {
+                parsed.workers = NonZeroUsize::new(value("--workers")?.parse()?)
+                    .ok_or("--workers must be positive")?;
+            }
+            "--out" => parsed.out = value("--out")?,
+            "--smoke" => parsed.smoke = true,
+            other => return Err(format!("unknown flag {other}\n{USAGE}").into()),
+        }
+    }
+    Ok(parsed)
+}
+
+/// The deterministic lifecycle run every subcommand inspects: small A/B
+/// budgets (the same shape the integration tests replay) with code churn
+/// hot enough that the drift monitor fires, so the trace exercises the
+/// whole tune → compose → rollout → drift → re-tune story.
+fn traced_run(args: &Args) -> Result<(LifecycleReport, TraceSink), BoxError> {
+    let mut config = PipelineConfig::fast_test(args.seed);
+    config.abtest.min_samples = 24;
+    config.abtest.max_samples = 240;
+    config.abtest.batch = 12;
+    config.env.window_insns = 12_000;
+    config.staged.replicas = 20;
+    config.staged.window_insns = 6_000;
+    config.rollout.ticks_per_stage = 12;
+    config.rollout.mad_window = 8;
+    config.drift.window_ticks = 12;
+    config.drift.max_windows = 4;
+    config.staged.pushes_per_hour = 4.0;
+    config.staged.push_magnitude = 0.005;
+    config.staged.drift_per_push = 0.002;
+    let config = config.with_workers(args.workers);
+
+    let mut sink = TraceSink::new();
+    let report = RolloutPipeline::new(config).run_traced(
+        args.service,
+        PlatformKind::Skylake18,
+        &[Knob::Thp, Knob::Shp],
+        &mut sink,
+    )?;
+    Ok((report, sink))
+}
+
+fn attr<'a>(span: &'a TraceSpan, key: &str) -> Option<&'a AttrValue> {
+    span.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn attr_str<'a>(span: &'a TraceSpan, key: &str) -> Option<&'a str> {
+    match attr(span, key) {
+        Some(AttrValue::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn attr_f64(span: &TraceSpan, key: &str) -> Option<f64> {
+    match attr(span, key) {
+        Some(AttrValue::F64(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+/// `skuctl spans`: the indented span tree, one line per span.
+fn cmd_spans(sink: &TraceSink) {
+    print!("{}", sink.render_tree());
+    println!(
+        "{} spans, {} counters, {} tracks",
+        sink.spans().len(),
+        sink.counters().len(),
+        sink.tracks().len()
+    );
+}
+
+/// `skuctl cpi`: every A/B knob win with its per-arm CPI-stack verdict —
+/// the TMAM bound the candidate relieved (paper Figs. 7-10).
+fn cmd_cpi(sink: &TraceSink) {
+    println!(
+        "{:<8} {:<10} {:<22} {:>8} {:>9}  relieved bound",
+        "service", "knob", "setting", "gain", "p-value"
+    );
+    let mut wins = 0usize;
+    let mut attributed = 0usize;
+    for span in sink.spans() {
+        if span.cat != "abtest" || attr_str(span, "verdict") != Some("better") {
+            continue;
+        }
+        wins += 1;
+        let bound = match (
+            attr_str(span, "tmam.relieved"),
+            attr_f64(span, "tmam.relieved_drop"),
+        ) {
+            (Some(b), Some(d)) => {
+                attributed += 1;
+                format!("{b} (-{:.1} pp)", 100.0 * d)
+            }
+            _ => "unattributed".to_string(),
+        };
+        println!(
+            "{:<8} {:<10} {:<22} {:>7.2}% {:>9.2e}  {}",
+            attr_str(span, "service").unwrap_or("?"),
+            attr_str(span, "knob").unwrap_or("?"),
+            span.name,
+            100.0 * attr_f64(span, "gain").unwrap_or(0.0),
+            attr_f64(span, "p_value").unwrap_or(f64::NAN),
+            bound,
+        );
+    }
+    println!("{wins} knob wins, {attributed} attributed to a TMAM bound");
+}
+
+/// `skuctl ledger`: the tiered rollout ledger — per series, how many
+/// observations live at raw resolution vs folded into each retention tier.
+fn cmd_ledger(report: &LifecycleReport) {
+    let ods = &report.rollout_ods;
+    println!(
+        "rollout ledger: {} series, {} retention tiers",
+        ods.series_count(),
+        ods.tier_count()
+    );
+    for key in ods.keys() {
+        let raw = ods.raw_points(key);
+        let tiers: Vec<String> = (0..ods.tier_count())
+            .map(|t| format!("t{t}:{}", ods.tier_points(key, t).len()))
+            .collect();
+        let last = raw
+            .last()
+            .map(|(t, value)| format!("last {value:.3} @ {t:.1}s"))
+            .unwrap_or_else(|| "folded".to_string());
+        println!(
+            "  {:<24} {:>4} obs  raw:{} {}  {}",
+            key.to_string(),
+            ods.len(key),
+            raw.len(),
+            tiers.join(" "),
+            last
+        );
+    }
+}
+
+/// `skuctl export`: Chrome trace-event JSON, loadable in Perfetto or
+/// `chrome://tracing`.
+fn cmd_export(sink: &TraceSink, out: &str) -> Result<(), BoxError> {
+    let json = sink.chrome_trace().render_pretty();
+    std::fs::write(out, &json)?;
+    println!(
+        "wrote {out}: {} events ({} bytes)",
+        sink.spans().len() + sink.counters().len() + sink.tracks().len(),
+        json.len()
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), BoxError> {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    let (report, sink) = traced_run(&args)?;
+    match args.command.as_str() {
+        "spans" => cmd_spans(&sink),
+        "cpi" => cmd_cpi(&sink),
+        "ledger" => cmd_ledger(&report),
+        "export" => cmd_export(&sink, &args.out)?,
+        other => {
+            eprintln!("unknown command {other}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    if args.smoke {
+        println!("smoke ok");
+    }
+    Ok(())
+}

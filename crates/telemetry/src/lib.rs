@@ -21,6 +21,11 @@
 //! [`StreamRegistry`] that enforces the determinism contract at runtime
 //! (the `detlint` static pass enforces it at the source level).
 //!
+//! The observability layer lives here too: [`trace`] records deterministic
+//! sim-time spans and counters (exported as Chrome trace-event JSON through
+//! the dep-free [`json`] emitter), and [`tiered`] bounds ledger memory with
+//! raw → downsampled retention tiers.
+//!
 //! # Example
 //!
 //! ```
@@ -39,12 +44,18 @@
 
 pub mod emon;
 pub mod error;
+pub mod json;
 pub mod ods;
 pub mod stats;
 pub mod streams;
+pub mod tiered;
+pub mod trace;
 
 pub use emon::{EventSet, MultiplexedSampler, SamplerConfig};
 pub use error::TelemetryError;
+pub use json::Json;
 pub use ods::{Ods, SeriesKey};
 pub use stats::{welch_test, RunningStats, Summary, WelchResult};
 pub use streams::{stream_seed, IdentitySeed, StreamFamily, StreamRegistry};
+pub use tiered::{TierPoint, TierSpec, TieredOds};
+pub use trace::{AttrValue, SpanHandle, TraceCounter, TraceSink, TraceSpan};

@@ -103,12 +103,16 @@ pub enum StreamFamily {
     RolloutGroupNoise,
     /// Base seed of a drift-triggered scoped re-tune (`rollout::drift`).
     RolloutRetune,
+    /// Span-sampling keep/drop draws of the observability trace layer
+    /// (`telemetry::trace`); only ever consulted for high-volume leaf
+    /// spans, never for simulated results.
+    ObsSpanSampling,
 }
 
 impl StreamFamily {
     /// Every registered family, in declaration order. The uniqueness tests
     /// and the injectivity proptest iterate this.
-    pub const ALL: [StreamFamily; 26] = [
+    pub const ALL: [StreamFamily; 27] = [
         StreamFamily::EnvSamplerA,
         StreamFamily::EnvSamplerB,
         StreamFamily::EnvCommonLoad,
@@ -135,6 +139,7 @@ impl StreamFamily {
         StreamFamily::RolloutStagedLoad,
         StreamFamily::RolloutGroupNoise,
         StreamFamily::RolloutRetune,
+        StreamFamily::ObsSpanSampling,
     ];
 
     /// The family's XOR mask. Masks are pairwise distinct (tested below and
@@ -174,6 +179,7 @@ impl StreamFamily {
             StreamFamily::RolloutStagedLoad => 0x57A6_0006,
             StreamFamily::RolloutGroupNoise => 0x6E01_0007,
             StreamFamily::RolloutRetune => 0x2E7A_0008,
+            StreamFamily::ObsSpanSampling => 0x5BA9_0009,
         }
     }
 
@@ -206,6 +212,7 @@ impl StreamFamily {
             StreamFamily::RolloutStagedLoad => "rollout.staged_load",
             StreamFamily::RolloutGroupNoise => "rollout.group_noise",
             StreamFamily::RolloutRetune => "rollout.retune",
+            StreamFamily::ObsSpanSampling => "obs.span_sampling",
         }
     }
 }

@@ -1,0 +1,578 @@
+//! Tiered-retention ODS: raw points cascade into downsampled tiers.
+//!
+//! Production ODS cannot keep raw samples forever — Facebook's store keeps
+//! recent data at full resolution and rolls older data into progressively
+//! coarser aggregates. [`TieredOds`] reproduces that shape so the
+//! `rollout.*` ledger and `DriftMonitor`'s rolling windows run on bounded
+//! memory instead of unbounded appends (the "ODS retention at scale"
+//! ROADMAP item):
+//!
+//! * the **raw tier** holds full-resolution points for `raw_window_s`
+//!   behind the newest timestamp of each series;
+//! * points evicted from raw fold into tier 0's open bucket (bucket width
+//!   `bucket_s`, aligned to `floor(t / bucket_s) * bucket_s`), carrying a
+//!   count-weighted mean;
+//! * each tier keeps closed buckets for its own `window_s` and evicts older
+//!   buckets into the next tier; the last tier simply drops what falls off
+//!   (use `f64::INFINITY` to keep forever).
+//!
+//! Boundary discipline matches [`Ods`](crate::Ods): a point (or bucket) at exactly
+//! `newest − window` survives — eviction uses a strict `<` against the
+//! horizon. Closed buckets always carry `count ≥ 1`, so no query can ever
+//! observe a NaN mean.
+//!
+//! Eviction is driven purely by appended timestamps, never by wall clocks,
+//! so a `TieredOds` is as deterministic as the plain [`Ods`](crate::Ods) it replaces.
+
+use crate::error::TelemetryError;
+use crate::ods::{Point, SeriesKey};
+use std::collections::BTreeMap;
+
+/// One downsampled observation: a closed bucket's start time, mean value,
+/// and the number of raw observations folded into it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierPoint {
+    /// Bucket start (aligned to the tier's bucket width).
+    pub t: f64,
+    /// Count-weighted mean of everything folded into the bucket.
+    pub mean: f64,
+    /// Raw observations represented by this bucket (always ≥ 1).
+    pub count: u64,
+}
+
+/// Configuration of one downsampled tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierSpec {
+    /// Bucket width in seconds (must be positive and finite).
+    pub bucket_s: f64,
+    /// How long closed buckets stay in this tier before cascading onward,
+    /// relative to the newest raw timestamp. `f64::INFINITY` keeps forever.
+    pub window_s: f64,
+}
+
+/// Per-series storage: raw points plus an open bucket and closed buckets
+/// per tier.
+#[derive(Debug, Clone, Default)]
+struct Series {
+    raw: Vec<Point>,
+    /// Open (still-accumulating) bucket per tier: (bucket_start, sum, count).
+    open: Vec<Option<(f64, f64, u64)>>,
+    /// Closed buckets per tier, oldest first.
+    closed: Vec<Vec<TierPoint>>,
+}
+
+/// Time-series store with raw → downsampled retention tiers.
+///
+/// Drop-in for the append-side [`Ods`](crate::Ods) surface (`append`, `len`,
+/// `series_count`, `keys`, `last`, `is_empty`) plus tier inspection for
+/// `skuctl ledger`.
+///
+/// # Example
+///
+/// ```
+/// use softsku_telemetry::{SeriesKey, TieredOds, TierSpec};
+///
+/// let mut ods = TieredOds::with_tiers(
+///     60.0,
+///     vec![TierSpec { bucket_s: 60.0, window_s: f64::INFINITY }],
+/// )
+/// .unwrap();
+/// let key = SeriesKey::new("web.fleet", "qps");
+/// for t in 0..600 {
+///     ods.append(&key, t as f64, 100.0).unwrap();
+/// }
+/// // Early seconds have left raw and live on as 60 s buckets.
+/// assert!(ods.raw_points(&key).len() <= 62);
+/// assert!(!ods.tier_points(&key, 0).is_empty());
+/// // Nothing was forgotten: raw + bucket counts still cover all appends.
+/// assert_eq!(ods.len(&key), 600);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TieredOds {
+    series: BTreeMap<SeriesKey, Series>,
+    raw_window_s: f64,
+    tiers: Vec<TierSpec>,
+}
+
+impl TieredOds {
+    /// A raw-only store with unlimited retention — drop-in for
+    /// [`Ods::new`](crate::Ods::new) where a `TieredOds` type is expected.
+    pub fn unbounded() -> Self {
+        TieredOds {
+            series: BTreeMap::new(),
+            raw_window_s: f64::INFINITY,
+            tiers: Vec::new(),
+        }
+    }
+
+    /// A store keeping raw points for `raw_window_s`, cascading evictions
+    /// through `tiers` in order (tier 0 first).
+    ///
+    /// # Errors
+    ///
+    /// [`TelemetryError::InvalidSamplerConfig`] when `raw_window_s` is
+    /// negative or NaN, a tier bucket is non-positive or non-finite, a tier
+    /// window is negative or NaN, or a tier's bucket is narrower than its
+    /// predecessor's (coarsening must be monotone).
+    pub fn with_tiers(raw_window_s: f64, tiers: Vec<TierSpec>) -> Result<Self, TelemetryError> {
+        if raw_window_s.is_nan() || raw_window_s < 0.0 {
+            return Err(TelemetryError::InvalidSamplerConfig(format!(
+                "raw window must be non-negative, got {raw_window_s}"
+            )));
+        }
+        let mut prev_bucket = 0.0;
+        for (i, tier) in tiers.iter().enumerate() {
+            if !tier.bucket_s.is_finite() || tier.bucket_s <= 0.0 {
+                return Err(TelemetryError::InvalidSamplerConfig(format!(
+                    "tier {i} bucket must be positive and finite, got {}",
+                    tier.bucket_s
+                )));
+            }
+            if tier.window_s.is_nan() || tier.window_s < 0.0 {
+                return Err(TelemetryError::InvalidSamplerConfig(format!(
+                    "tier {i} window must be non-negative, got {}",
+                    tier.window_s
+                )));
+            }
+            if tier.bucket_s < prev_bucket {
+                return Err(TelemetryError::InvalidSamplerConfig(format!(
+                    "tier {i} bucket {} is narrower than its predecessor {prev_bucket}",
+                    tier.bucket_s
+                )));
+            }
+            prev_bucket = tier.bucket_s;
+        }
+        Ok(TieredOds {
+            series: BTreeMap::new(),
+            raw_window_s,
+            tiers,
+        })
+    }
+
+    /// The retention policy the rollout ledger and drift monitor use: two
+    /// simulated days of raw points, hourly buckets for thirty days, then
+    /// daily buckets forever. Fast-test horizons (minutes of fleet time)
+    /// stay entirely inside the raw tier, so short-run ledger contents are
+    /// identical to an unbounded store's.
+    pub fn rollout_ledger() -> Self {
+        TieredOds::with_tiers(
+            2.0 * 86_400.0,
+            vec![
+                TierSpec {
+                    bucket_s: 3_600.0,
+                    window_s: 30.0 * 86_400.0,
+                },
+                TierSpec {
+                    bucket_s: 86_400.0,
+                    window_s: f64::INFINITY,
+                },
+            ],
+        )
+        .expect("static tier configuration is valid")
+    }
+
+    /// Number of configured downsampled tiers.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// The configured tier specs, tier 0 first.
+    pub fn tiers(&self) -> &[TierSpec] {
+        &self.tiers
+    }
+
+    /// Appends one observation, cascading evictions through the tiers.
+    ///
+    /// # Errors
+    ///
+    /// [`TelemetryError::NonMonotonicTimestamp`] when `t` precedes the
+    /// newest raw timestamp of the series.
+    pub fn append(&mut self, key: &SeriesKey, t: f64, value: f64) -> Result<(), TelemetryError> {
+        let n_tiers = self.tiers.len();
+        let series = self.series.entry(key.clone()).or_insert_with(|| Series {
+            raw: Vec::new(),
+            open: vec![None; n_tiers],
+            closed: vec![Vec::new(); n_tiers],
+        });
+        if let Some(&(last, _)) = series.raw.last() {
+            if t < last {
+                return Err(TelemetryError::NonMonotonicTimestamp { last, offered: t });
+            }
+        }
+        series.raw.push((t, value));
+        if self.raw_window_s.is_finite() {
+            // Evict raw points strictly older than the horizon; the point at
+            // exactly `newest − window` stays (same discipline as Ods).
+            let horizon = t - self.raw_window_s;
+            let evict_to = series.raw.partition_point(|&(pt, _)| pt < horizon);
+            for i in 0..evict_to {
+                let (pt, pv) = series.raw[i];
+                Self::fold_into_tier(&self.tiers, series, 0, pt, pv, 1);
+            }
+            if evict_to > 0 {
+                series.raw.drain(..evict_to);
+            }
+            Self::cascade(&self.tiers, series, t);
+        }
+        Ok(())
+    }
+
+    /// Folds one observation (or an already-aggregated bucket of `count`
+    /// observations) into tier `tier`'s open bucket, closing the previous
+    /// bucket when a later one starts. Beyond the last tier the data is
+    /// dropped — that is the retention policy doing its job.
+    fn fold_into_tier(
+        tiers: &[TierSpec],
+        series: &mut Series,
+        tier: usize,
+        t: f64,
+        mean: f64,
+        count: u64,
+    ) {
+        let Some(spec) = tiers.get(tier) else {
+            return;
+        };
+        let bucket_start = (t / spec.bucket_s).floor() * spec.bucket_s;
+        let sum = mean * count as f64;
+        match &mut series.open[tier] {
+            Some((start, s, n)) if *start == bucket_start => {
+                *s += sum;
+                *n += count;
+            }
+            slot => {
+                if let Some((start, s, n)) = slot.take() {
+                    debug_assert!(n >= 1, "closed buckets always hold data");
+                    series.closed[tier].push(TierPoint {
+                        t: start,
+                        mean: s / n as f64,
+                        count: n,
+                    });
+                }
+                *slot = Some((bucket_start, sum, count));
+            }
+        }
+    }
+
+    /// Pushes closed buckets past each tier's window into the next tier.
+    fn cascade(tiers: &[TierSpec], series: &mut Series, newest: f64) {
+        for tier in 0..tiers.len() {
+            let window = tiers[tier].window_s;
+            if !window.is_finite() {
+                continue;
+            }
+            let horizon = newest - window;
+            let evict_to = series.closed[tier].partition_point(|p| p.t < horizon);
+            if evict_to == 0 {
+                continue;
+            }
+            let evicted: Vec<TierPoint> = series.closed[tier].drain(..evict_to).collect();
+            for p in evicted {
+                Self::fold_into_tier(tiers, series, tier + 1, p.t, p.mean, p.count);
+            }
+        }
+    }
+
+    /// Total observations remembered for `key`: raw points plus every
+    /// observation folded into open or closed buckets across all tiers.
+    /// Matches [`Ods::len`](crate::Ods::len) exactly while data is still
+    /// raw, and keeps counting folded observations after they downsample.
+    pub fn len(&self, key: &SeriesKey) -> usize {
+        self.series.get(key).map_or(0, |s| {
+            let buckets: u64 = s
+                .closed
+                .iter()
+                .flatten()
+                .map(|p| p.count)
+                .chain(s.open.iter().flatten().map(|&(_, _, n)| n))
+                .sum();
+            s.raw.len() + buckets as usize
+        })
+    }
+
+    /// True when `key` holds no data at all.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Number of stored series.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Iterates over all series keys in sorted order.
+    pub fn keys(&self) -> impl Iterator<Item = &SeriesKey> {
+        self.series.keys()
+    }
+
+    /// The most recent raw point of a series.
+    ///
+    /// # Errors
+    ///
+    /// [`TelemetryError::UnknownSeries`] when the series does not exist or
+    /// holds no raw points.
+    pub fn last(&self, key: &SeriesKey) -> Result<Point, TelemetryError> {
+        self.series
+            .get(key)
+            .and_then(|s| s.raw.last().copied())
+            .ok_or_else(|| TelemetryError::UnknownSeries(key.to_string()))
+    }
+
+    /// Full-resolution points still in the raw tier (oldest first).
+    pub fn raw_points(&self, key: &SeriesKey) -> &[Point] {
+        self.series.get(key).map_or(&[], |s| &s.raw)
+    }
+
+    /// Closed buckets of tier `tier` (oldest first). The open bucket is not
+    /// included — it is still accumulating.
+    pub fn tier_points(&self, key: &SeriesKey, tier: usize) -> &[TierPoint] {
+        self.series
+            .get(key)
+            .and_then(|s| s.closed.get(tier))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// The stitched view of a series, coarsest history first: closed
+    /// buckets from the last tier down to tier 0, then open buckets, then
+    /// raw points — each observation appearing exactly once, timestamps
+    /// non-decreasing across segments. This is what `skuctl ledger` renders.
+    pub fn stitched(&self, key: &SeriesKey) -> Vec<TierPoint> {
+        let Some(series) = self.series.get(key) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for tier in (0..self.tiers.len()).rev() {
+            out.extend(series.closed[tier].iter().copied());
+            if let Some((start, sum, n)) = series.open[tier] {
+                out.push(TierPoint {
+                    t: start,
+                    mean: sum / n as f64,
+                    count: n,
+                });
+            }
+        }
+        out.extend(series.raw.iter().map(|&(t, v)| TierPoint {
+            t,
+            mean: v,
+            count: 1,
+        }));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> SeriesKey {
+        SeriesKey::new("web.fleet", "qps")
+    }
+
+    #[test]
+    fn unbounded_matches_plain_ods_semantics() {
+        let mut tiered = TieredOds::unbounded();
+        let mut plain = crate::Ods::new();
+        let k = key();
+        for i in 0..50 {
+            tiered.append(&k, i as f64, i as f64).unwrap();
+            plain.append(&k, i as f64, i as f64).unwrap();
+        }
+        assert_eq!(tiered.len(&k), plain.len(&k));
+        assert_eq!(tiered.last(&k).unwrap(), plain.last(&k).unwrap());
+        assert_eq!(tiered.series_count(), plain.series_count());
+        assert_eq!(tiered.raw_points(&k).len(), 50);
+        assert_eq!(tiered.tier_count(), 0);
+    }
+
+    #[test]
+    fn rejects_time_travel_like_ods() {
+        let mut ods = TieredOds::unbounded();
+        let k = key();
+        ods.append(&k, 10.0, 1.0).unwrap();
+        assert!(matches!(
+            ods.append(&k, 5.0, 1.0),
+            Err(TelemetryError::NonMonotonicTimestamp { .. })
+        ));
+        // Equal timestamps are fine (hosts flushing together).
+        ods.append(&k, 10.0, 2.0).unwrap();
+    }
+
+    #[test]
+    fn eviction_folds_into_buckets_without_losing_observations() {
+        let mut ods = TieredOds::with_tiers(
+            10.0,
+            vec![TierSpec {
+                bucket_s: 10.0,
+                window_s: f64::INFINITY,
+            }],
+        )
+        .unwrap();
+        let k = key();
+        for i in 0..100 {
+            ods.append(&k, i as f64, (i % 10) as f64).unwrap();
+        }
+        // Raw holds only the trailing window...
+        assert!(ods.raw_points(&k).len() <= 12);
+        // ...but every observation is still accounted for.
+        assert_eq!(ods.len(&k), 100);
+        // Closed tier-0 buckets are 10-wide with exact means (0..9 → 4.5).
+        let buckets = ods.tier_points(&k, 0);
+        assert!(!buckets.is_empty());
+        for b in buckets {
+            assert_eq!(b.t % 10.0, 0.0);
+            assert_eq!(b.count, 10);
+            assert!((b.mean - 4.5).abs() < 1e-12);
+            assert!(b.mean.is_finite(), "no NaN buckets, ever");
+        }
+    }
+
+    #[test]
+    fn tier_hand_off_keeps_boundary_points() {
+        // Raw window 10: after appending t = 20, the point at exactly
+        // 20 − 10 = 10 must still be raw, and only t < 10 evicted.
+        let mut ods = TieredOds::with_tiers(
+            10.0,
+            vec![TierSpec {
+                bucket_s: 5.0,
+                window_s: f64::INFINITY,
+            }],
+        )
+        .unwrap();
+        let k = key();
+        for t in [0.0, 5.0, 10.0, 20.0] {
+            ods.append(&k, t, 1.0).unwrap();
+        }
+        let raw: Vec<f64> = ods.raw_points(&k).iter().map(|&(t, _)| t).collect();
+        assert_eq!(
+            raw,
+            vec![10.0, 20.0],
+            "the boundary point at 10.0 stays raw"
+        );
+        let folded: Vec<f64> = ods.tier_points(&k, 0).iter().map(|p| p.t).collect();
+        assert_eq!(folded, vec![0.0], "t=0 closed; t=5 still open");
+        // The open bucket is visible through the stitched view, so the
+        // hand-off never makes a point unqueryable.
+        let stitched = ods.stitched(&k);
+        let times: Vec<f64> = stitched.iter().map(|p| p.t).collect();
+        assert_eq!(times, vec![0.0, 5.0, 10.0, 20.0]);
+        assert!(stitched.iter().all(|p| p.mean.is_finite() && p.count >= 1));
+    }
+
+    #[test]
+    fn buckets_cascade_between_tiers_with_weighted_means() {
+        let mut ods = TieredOds::with_tiers(
+            5.0,
+            vec![
+                TierSpec {
+                    bucket_s: 5.0,
+                    window_s: 20.0,
+                },
+                TierSpec {
+                    bucket_s: 20.0,
+                    window_s: f64::INFINITY,
+                },
+            ],
+        )
+        .unwrap();
+        let k = key();
+        // Values = timestamps, 1 Hz, long enough to fill tier 1.
+        for i in 0..200 {
+            ods.append(&k, i as f64, i as f64).unwrap();
+        }
+        let tier1 = ods.tier_points(&k, 1);
+        assert!(!tier1.is_empty(), "old tier-0 buckets cascaded to tier 1");
+        for b in tier1 {
+            assert_eq!(b.t % 20.0, 0.0);
+            assert_eq!(b.count, 20, "four 5-point buckets folded together");
+            // Mean of t..t+19 when value == timestamp.
+            assert!((b.mean - (b.t + 9.5)).abs() < 1e-9);
+            assert!(b.mean.is_finite());
+        }
+        // Tier-0 closed buckets stay within their window of the newest point.
+        let newest = ods.last(&k).unwrap().0;
+        for b in ods.tier_points(&k, 0) {
+            assert!(b.t >= newest - 20.0 - 5.0);
+        }
+        assert_eq!(ods.len(&k), 200, "cascade preserves observation counts");
+    }
+
+    #[test]
+    fn last_tier_with_finite_window_actually_forgets() {
+        let mut ods = TieredOds::with_tiers(
+            5.0,
+            vec![TierSpec {
+                bucket_s: 5.0,
+                window_s: 10.0,
+            }],
+        )
+        .unwrap();
+        let k = key();
+        for i in 0..100 {
+            ods.append(&k, i as f64, 1.0).unwrap();
+        }
+        assert!(
+            ods.len(&k) < 100,
+            "beyond the final tier, data is dropped — that is the policy"
+        );
+        assert!(ods.raw_points(&k).len() <= 7);
+        assert!(ods.tier_points(&k, 0).len() <= 4);
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let tier = |bucket_s, window_s| TierSpec { bucket_s, window_s };
+        assert!(TieredOds::with_tiers(-1.0, vec![]).is_err());
+        assert!(TieredOds::with_tiers(f64::NAN, vec![]).is_err());
+        assert!(TieredOds::with_tiers(10.0, vec![tier(0.0, 10.0)]).is_err());
+        assert!(TieredOds::with_tiers(10.0, vec![tier(f64::INFINITY, 10.0)]).is_err());
+        assert!(TieredOds::with_tiers(10.0, vec![tier(5.0, -1.0)]).is_err());
+        assert!(
+            TieredOds::with_tiers(10.0, vec![tier(60.0, 100.0), tier(5.0, 100.0)]).is_err(),
+            "tiers must coarsen monotonically"
+        );
+        assert!(TieredOds::with_tiers(10.0, vec![tier(5.0, 100.0), tier(60.0, 100.0)]).is_ok());
+    }
+
+    #[test]
+    fn rollout_ledger_keeps_fast_test_horizons_raw() {
+        let mut ods = TieredOds::rollout_ledger();
+        let k = key();
+        // A fast-test lifecycle spans minutes of fleet time — far inside
+        // the two-day raw window, so nothing downsamples.
+        for i in 0..600 {
+            ods.append(&k, i as f64, 1.0).unwrap();
+        }
+        assert_eq!(ods.raw_points(&k).len(), 600);
+        assert_eq!(ods.len(&k), 600);
+        assert!(ods.tier_points(&k, 0).is_empty());
+        assert!(ods.tier_points(&k, 1).is_empty());
+    }
+
+    #[test]
+    fn stitched_view_is_monotone_and_complete() {
+        let mut ods = TieredOds::with_tiers(
+            10.0,
+            vec![
+                TierSpec {
+                    bucket_s: 10.0,
+                    window_s: 40.0,
+                },
+                TierSpec {
+                    bucket_s: 40.0,
+                    window_s: f64::INFINITY,
+                },
+            ],
+        )
+        .unwrap();
+        let k = key();
+        for i in 0..300 {
+            ods.append(&k, i as f64, 1.0).unwrap();
+        }
+        let stitched = ods.stitched(&k);
+        let total: u64 = stitched.iter().map(|p| p.count).sum();
+        assert_eq!(total, 300, "every observation appears exactly once");
+        for pair in stitched.windows(2) {
+            assert!(pair[0].t <= pair[1].t, "stitched timestamps non-decreasing");
+        }
+        assert!(stitched.iter().all(|p| p.mean.is_finite()));
+    }
+}

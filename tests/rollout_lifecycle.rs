@@ -1,8 +1,10 @@
 //! End-to-end rollout lifecycle (ISSUE acceptance): a seeded run drives
 //! tune → compose → staged canary rollout → injected code-push drift →
-//! automatic scoped re-tune, replays bit-identically across worker counts,
-//! and a guardrail violation injected into a staged fleet rolls the
-//! candidate back instead of promoting it.
+//! automatic scoped re-tune, replays bit-identically across worker counts
+//! — including its trace: the serialized Chrome trace-event export of the
+//! whole span tree is bit-identical across 1 and 8 workers — and a
+//! guardrail violation injected into a staged fleet rolls the candidate
+//! back instead of promoting it.
 
 use softsku::cluster::{StagedFleet, StagedFleetConfig};
 use softsku::knobs::Knob;
@@ -10,7 +12,8 @@ use softsku::rollout::{
     CompositionDecision, LifecycleReport, PipelineConfig, RolloutConfig, RolloutPipeline,
     RolloutState, StageViolation, StagedRollout,
 };
-use softsku::telemetry::{Ods, SeriesKey};
+use softsku::telemetry::trace::TraceSink;
+use softsku::telemetry::{SeriesKey, TieredOds};
 use softsku::workloads::{Microservice, PlatformKind};
 use std::num::NonZeroUsize;
 
@@ -37,16 +40,19 @@ fn tiny_config(seed: u64) -> PipelineConfig {
     config
 }
 
-fn run_cycle(workers: usize) -> LifecycleReport {
+fn run_cycle(workers: usize) -> (LifecycleReport, TraceSink) {
     let config = tiny_config(SEED)
         .with_workers(NonZeroUsize::new(workers).expect("worker counts are positive"));
-    RolloutPipeline::new(config)
-        .run(
+    let mut sink = TraceSink::new();
+    let report = RolloutPipeline::new(config)
+        .run_traced(
             Microservice::Web,
             PlatformKind::Skylake18,
             &[Knob::Thp, Knob::Shp],
+            &mut sink,
         )
-        .expect("the lifecycle pipeline runs clean")
+        .expect("the lifecycle pipeline runs clean");
+    (report, sink)
 }
 
 /// Everything the determinism contract covers: every field except
@@ -60,13 +66,13 @@ fn deterministic_view(r: &LifecycleReport) -> String {
     )
 }
 
-fn series_len(ods: &Ods, service: &str, metric: &str) -> usize {
+fn series_len(ods: &TieredOds, service: &str, metric: &str) -> usize {
     ods.len(&SeriesKey::new(service, metric))
 }
 
 #[test]
 fn full_cycle_deploys_drifts_retunes_and_replays_bit_identically() {
-    let report = run_cycle(1);
+    let (report, sink) = run_cycle(1);
     let service = report.service.name();
 
     // Tune → compose: the sweeps find real winners and the composed SKU
@@ -129,9 +135,64 @@ fn full_cycle_deploys_drifts_retunes_and_replays_bit_identically() {
     // The whole cycle is a pure function of (config, seed): an 8-worker
     // replay reproduces every gain, verdict, stage statistic, drift window,
     // and ledger point bit for bit.
-    let eight = run_cycle(8);
+    let (eight, sink_eight) = run_cycle(8);
     assert_eq!(deterministic_view(&report), deterministic_view(&eight));
     assert_eq!(report.render(), eight.render());
+
+    // So is the trace: spans are recorded post-merge on the orchestration
+    // thread in canonical plan order, so the serialized Chrome export is
+    // bit-identical across worker counts.
+    let export = sink.chrome_trace().render();
+    assert_eq!(export, sink_eight.chrome_trace().render());
+    assert!(export.contains("\"traceEvents\""));
+
+    // The span tree covers the whole story: the lifecycle root, one phase
+    // span per step (tune through the re-tuned second cycle), the A/B test
+    // spans under the tuning campaigns, the composition validations, the
+    // canary stages, and the drift windows with the retune request event.
+    let span_names = |cat: &str| -> Vec<&str> {
+        sink.spans()
+            .iter()
+            .filter(|s| s.cat == cat)
+            .map(|s| s.name.as_str())
+            .collect()
+    };
+    assert_eq!(span_names("lifecycle"), ["lifecycle Web"]);
+    assert_eq!(
+        span_names("phase"),
+        [
+            "tune",
+            "compose",
+            "rollout",
+            "drift",
+            "re-tune",
+            "re-compose",
+            "re-rollout"
+        ]
+    );
+    assert!(
+        span_names("tune").len() >= 2,
+        "one campaign per tuning pass"
+    );
+    assert!(span_names("abtest").len() >= 4, "every A/B test is a span");
+    assert!(!span_names("compose.validate").is_empty());
+    assert!(span_names("rollout.stage").len() >= 3);
+    assert!(!span_names("drift.window").is_empty());
+    assert!(span_names("drift.event").contains(&"retune.request"));
+    assert!(span_names("rollout.event").contains(&"deployed"));
+
+    // CPI-stack attribution: at least one knob win names the TMAM bound it
+    // relieved (the paper's Figs. 7-10 analysis, per A/B arm).
+    let relieved = sink
+        .spans()
+        .iter()
+        .filter(|s| s.cat == "abtest")
+        .filter(|s| s.attrs.iter().any(|(k, _)| k == "tmam.relieved"))
+        .count();
+    assert!(
+        relieved >= 1,
+        "expected >= 1 knob win attributed to a TMAM bound"
+    );
 }
 
 #[test]
@@ -156,7 +217,7 @@ fn guardrail_violation_rolls_the_candidate_back() {
     let mut config = RolloutConfig::fast_test();
     config.ticks_per_stage = 12;
     config.mad_window = 8;
-    let mut ods = Ods::new();
+    let mut ods = TieredOds::rollout_ledger();
     let report = StagedRollout::new(config)
         .execute(&mut fleet, "web", &mut ods)
         .expect("the rollout executes");

@@ -15,6 +15,7 @@
 //! tuned advantage — which is what the rollout crate's `DriftMonitor`
 //! watches for.
 
+use crate::domains::FailureDomain;
 use crate::error::ClusterError;
 use crate::server::SimServer;
 use rand::rngs::SmallRng;
@@ -254,6 +255,15 @@ pub struct StagedFleet {
     candidate_drift: f64,
     code_pushes: u64,
     time_s: f64,
+    /// The failure domain this fleet's replicas live in, when the fleet is
+    /// coordinated at fleet scale. `None` for standalone rollouts.
+    domain: Option<FailureDomain>,
+    /// External (chaos) load multiplier; 1.0 when healthy. Applied as a
+    /// pure multiply, so the default is bitwise inert.
+    external_load_mult: f64,
+    /// Crashed candidate replicas and when they come back.
+    down_replicas: usize,
+    down_until_s: f64,
 }
 
 impl StagedFleet {
@@ -297,6 +307,10 @@ impl StagedFleet {
             candidate_drift: 1.0,
             code_pushes: 0,
             time_s: 0.0,
+            domain: None,
+            external_load_mult: 1.0,
+            down_replicas: 0,
+            down_until_s: f64::NEG_INFINITY,
             config: StagedFleetConfig {
                 replicas: config.replicas.max(2),
                 tick_s: config.tick_s.max(1.0),
@@ -313,6 +327,62 @@ impl StagedFleet {
         let want = (fraction.clamp(0.0, 1.0) * replicas as f64).ceil() as usize;
         self.candidate_replicas = want.min(replicas - self.holdback());
         self.candidate_replicas
+    }
+
+    /// Moves the candidate group to exactly `count` replicas (clamped so
+    /// the baseline holdback group survives) — the coordinator's
+    /// budget-metered staging primitive. Returns the actual count.
+    pub fn stage_replicas(&mut self, count: usize) -> usize {
+        self.candidate_replicas = count.min(self.config.replicas - self.holdback());
+        self.candidate_replicas
+    }
+
+    /// Tags the fleet with the failure domain its replicas live in.
+    pub fn set_domain(&mut self, domain: FailureDomain) {
+        self.domain = Some(domain);
+    }
+
+    /// The failure domain this fleet lives in, if any.
+    pub fn domain(&self) -> Option<&FailureDomain> {
+        self.domain.as_ref()
+    }
+
+    /// Sets the external (chaos) load multiplier: 1.0 healthy, `1 − depth`
+    /// browned out, 0.0 dark. Applied multiplicatively to the diurnal load
+    /// each tick, so the healthy value is bitwise inert.
+    pub fn set_external_load(&mut self, mult: f64) {
+        self.external_load_mult = mult.max(0.0);
+    }
+
+    /// A correlated code-push wave landed on this service: erodes the
+    /// candidate's remaining tuned advantage by `erosion` on top of the
+    /// organic per-push drift.
+    pub fn apply_push_wave(&mut self, erosion: f64) {
+        self.candidate_drift *= 1.0 - erosion.clamp(0.0, 1.0);
+        self.code_pushes += 1;
+    }
+
+    /// Crashes `count` candidate replicas until sim-time `until_s`; they
+    /// serve nothing while down (the sample reports the surviving group).
+    /// A later crash extends, never shortens, an outage.
+    pub fn crash_candidates(&mut self, count: usize, until_s: f64) {
+        if self.time_s >= self.down_until_s {
+            // The previous outage (if any) is over; start fresh.
+            self.down_replicas = count;
+            self.down_until_s = until_s;
+        } else if until_s >= self.down_until_s {
+            self.down_until_s = until_s;
+            self.down_replicas = self.down_replicas.max(count);
+        }
+    }
+
+    /// Candidate replicas currently down from a canary crash.
+    pub fn crashed_candidates(&self) -> usize {
+        if self.time_s < self.down_until_s {
+            self.down_replicas.min(self.candidate_replicas)
+        } else {
+            0
+        }
     }
 
     /// Reverts every candidate replica to the baseline configuration.
@@ -352,14 +422,20 @@ impl StagedFleet {
             self.candidate_drift *= 1.0 - self.config.drift_per_push.clamp(0.0, 1.0);
             self.code_pushes += 1;
         }
-        let load = self.load.load_at(self.time_s);
+        // The external multiplier is 1.0 when no chaos layer drives this
+        // fleet — a bitwise-identity multiply, so standalone rollouts
+        // replay exactly as before the chaos hooks existed.
+        let load = self.load.load_at(self.time_s) * self.external_load_mult;
+        // Crashed canary replicas serve nothing; the surviving group is
+        // what the sample reports and what the noise averages over.
+        let serving_candidates = self.candidate_replicas - self.crashed_candidates();
         let baseline_replicas = self.config.replicas - self.candidate_replicas;
         // Both noise draws happen every tick, staged or not, to keep the
         // stream position independent of the staging schedule.
         let bnoise = self.group_noise(baseline_replicas);
-        let cnoise = self.group_noise(self.candidate_replicas);
+        let cnoise = self.group_noise(serving_candidates);
         let baseline_qps = self.baseline.qps(load)? * bnoise;
-        let candidate_qps = if self.candidate_replicas > 0 {
+        let candidate_qps = if serving_candidates > 0 {
             Some(self.candidate.qps(load)? * self.candidate_drift * cnoise)
         } else {
             None
@@ -368,7 +444,7 @@ impl StagedFleet {
             time_s: self.time_s,
             load,
             baseline_replicas,
-            candidate_replicas: self.candidate_replicas,
+            candidate_replicas: serving_candidates,
             baseline_qps,
             candidate_qps,
             code_pushes_total: self.code_pushes,
@@ -384,6 +460,11 @@ impl StagedFleet {
     /// Total fleet replicas.
     pub fn replicas(&self) -> usize {
         self.config.replicas
+    }
+
+    /// The fleet's simulation parameters (after construction clamping).
+    pub fn config(&self) -> &StagedFleetConfig {
+        &self.config
     }
 
     /// Replicas currently serving the candidate configuration.
@@ -527,6 +608,79 @@ mod tests {
             late_gain < early_gain - 0.05,
             "gain should decay: early {early_gain:+.3}, late {late_gain:+.3}"
         );
+    }
+
+    #[test]
+    fn chaos_hooks_default_to_bitwise_inert() {
+        let cfg = StagedFleetConfig::fast_test();
+        let mut plain = staged_setup(cfg, 13);
+        let mut hooked = staged_setup(cfg, 13);
+        hooked.set_domain(FailureDomain::new("skl18", "r0"));
+        hooked.set_external_load(1.0);
+        hooked.crash_candidates(0, f64::NEG_INFINITY);
+        plain.stage_to(0.25);
+        hooked.stage_to(0.25);
+        for _ in 0..50 {
+            let a = plain.tick().unwrap();
+            let b = hooked.tick().unwrap();
+            assert_eq!(a.baseline_qps.to_bits(), b.baseline_qps.to_bits());
+            assert_eq!(
+                a.candidate_qps.map(f64::to_bits),
+                b.candidate_qps.map(f64::to_bits)
+            );
+            assert_eq!(a.load.to_bits(), b.load.to_bits());
+        }
+        assert_eq!(hooked.domain(), Some(&FailureDomain::new("skl18", "r0")));
+        assert_eq!(plain.domain(), None);
+    }
+
+    #[test]
+    fn brownout_load_and_push_waves_hit_the_fleet() {
+        let mut cfg = StagedFleetConfig::fast_test();
+        cfg.noise_rel = 0.0;
+        cfg.pushes_per_hour = 0.0;
+        let mut fleet = staged_setup(cfg, 17);
+        fleet.stage_to(0.5);
+        let healthy = fleet.tick().unwrap();
+        fleet.set_external_load(0.7);
+        let dimmed = fleet.tick().unwrap();
+        assert!(
+            dimmed.load < healthy.load,
+            "brownout must cut the offered load"
+        );
+        // A push wave erodes the candidate's advantage immediately.
+        let pushes_before = fleet.code_pushes();
+        fleet.apply_push_wave(0.10);
+        assert!((fleet.candidate_drift() - 0.9).abs() < 1e-12);
+        assert_eq!(fleet.code_pushes(), pushes_before + 1);
+        // Dark pool: zero load still evaluates without panicking.
+        fleet.set_external_load(0.0);
+        let dark = fleet.tick().unwrap();
+        assert_eq!(dark.load, 0.0);
+    }
+
+    #[test]
+    fn crashed_canaries_leave_the_serving_group() {
+        let mut cfg = StagedFleetConfig::fast_test();
+        cfg.noise_rel = 0.0;
+        let mut fleet = staged_setup(cfg, 19);
+        assert_eq!(fleet.stage_replicas(10), 10);
+        let t = fleet.time_s();
+        fleet.crash_candidates(4, t + 2.5 * cfg.tick_s);
+        let during = fleet.tick().unwrap();
+        assert_eq!(during.candidate_replicas, 6);
+        assert_eq!(fleet.crashed_candidates(), 4);
+        fleet.tick().unwrap();
+        let after = fleet.tick().unwrap();
+        assert_eq!(after.candidate_replicas, 10, "outage must lift");
+        assert_eq!(fleet.crashed_candidates(), 0);
+        // Crashing more replicas than are staged blanks the whole group.
+        fleet.crash_candidates(50, fleet.time_s() + 1.5 * cfg.tick_s);
+        let blank = fleet.tick().unwrap();
+        assert_eq!(blank.candidate_replicas, 0);
+        assert!(blank.candidate_qps.is_none());
+        // stage_replicas clamps to the holdback like stage_to does.
+        assert_eq!(fleet.stage_replicas(1_000), 99);
     }
 
     #[test]

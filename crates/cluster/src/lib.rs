@@ -15,6 +15,10 @@
 //! * [`hazards::HazardSchedule`] — seeded production-hazard injection (arm
 //!   crashes, telemetry dropouts/outliers, load spikes, flaky knob tooling)
 //!   that the self-healing A/B consumer must survive.
+//! * [`domains`] — named failure domains (platform pools, racks) and the
+//!   rollout-layer chaos campaign: pool-wide brownouts, correlated
+//!   code-push waves, canary-replica crashes, and stalled stage
+//!   transitions, all deterministic per `(topology, config, seed)`.
 //! * [`colocation`] — the paper's Sec. 7 future-work extension: two services
 //!   sharing a socket (coupled LLC + memory queue) and a µSKU-aware pairing
 //!   scheduler.
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod colocation;
+pub mod domains;
 pub mod env;
 pub mod error;
 pub mod fleet;
@@ -46,6 +51,7 @@ pub mod hazards;
 pub mod server;
 
 pub use colocation::{best_pairing, ColocatedPair, ColocationOutcome, Pairing};
+pub use domains::{ChaosConfig, ChaosEvent, ChaosSchedule, FailureDomain, FleetTopology};
 pub use env::{AbEnvironment, Arm, EnvConfig, PairSample};
 pub use error::ClusterError;
 pub use fleet::{StagedFleet, StagedFleetConfig, StagedSample, ValidationFleet, ValidationOutcome};

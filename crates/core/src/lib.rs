@@ -70,9 +70,9 @@ pub use objective::{Objective, PowerModel};
 pub use profile::{ArmCpiStacks, CpiStack, TmamBound, ALL_BOUNDS};
 pub use scheduler::{
     default_workers, derive_joint_seed, derive_seed, parallel_exhaustive_sweep,
-    parallel_independent_sweep, plan_exhaustive, plan_independent, run_replicas, trace_test_span,
-    FleetOutcome, FleetTuner, JointUnit, ReplicaOutput, ReplicaRun, Schedule, ServiceTuning,
-    TestUnit,
+    parallel_independent_sweep, plan_exhaustive, plan_independent, run_replicas, run_tasks,
+    trace_test_span, FleetOutcome, FleetTuner, JointUnit, ReplicaOutput, ReplicaRun, Schedule,
+    ServiceTuning, TestUnit,
 };
 pub use search::{exhaustive_sweep, hill_climb, independent_sweep, SearchOutcome};
 pub use usku::{AbTestConfigurator, Usku, UskuConfig, UskuReport};

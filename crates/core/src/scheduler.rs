@@ -212,15 +212,17 @@ pub struct ReplicaRun {
     pub cpi: Option<ArmCpiStacks>,
 }
 
-/// Runs `units` on a scoped worker pool and returns one [`ReplicaRun`] per
-/// unit **in plan order**, regardless of which worker ran what or when it
-/// finished. Workers pull from a shared atomic cursor (work stealing keeps
-/// them busy through uneven test lengths) and deposit into plan-indexed
-/// slots; nothing about the output depends on scheduling.
+/// Runs arbitrary `units` on a scoped worker pool and returns one result
+/// per unit **in plan order**, regardless of which worker ran what or when
+/// it finished. Workers pull from a shared atomic cursor (work stealing
+/// keeps them busy through uneven task lengths) and deposit into
+/// plan-indexed slots; nothing about the output depends on scheduling.
 ///
 /// This is the determinism-preserving primitive every parallel consumer in
-/// the workspace builds on — the sweeps and [`FleetTuner`] here, and the
-/// rollout crate's composed-SKU validation replicas.
+/// the workspace builds on: [`run_replicas`] wraps it for A/B replicas, and
+/// the rollout coordinator drives concurrent staged fleets through it
+/// directly (its per-service runtimes are not A/B tests, so the result type
+/// is generic).
 ///
 /// Errors are also deterministic: every unit either completes or the pool
 /// drains early, and the error reported is the one at the lowest plan
@@ -229,19 +231,16 @@ pub struct ReplicaRun {
 /// # Errors
 ///
 /// Returns the lowest-plan-index error produced by `run_one`, if any.
-pub fn run_replicas<T, F>(
-    units: &[T],
-    workers: usize,
-    run_one: F,
-) -> Result<Vec<ReplicaRun>, UskuError>
+pub fn run_tasks<T, R, F>(units: &[T], workers: usize, run_one: F) -> Result<Vec<R>, UskuError>
 where
     T: Sync,
-    F: Fn(&T) -> Result<ReplicaOutput, UskuError> + Sync,
+    R: Send,
+    F: Fn(&T) -> Result<R, UskuError> + Sync,
 {
     let workers = workers.max(1).min(units.len().max(1));
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
-    let slots: Mutex<Vec<Option<Result<ReplicaRun, UskuError>>>> =
+    let slots: Mutex<Vec<Option<Result<R, UskuError>>>> =
         Mutex::new((0..units.len()).map(|_| None).collect());
 
     std::thread::scope(|scope| {
@@ -254,15 +253,7 @@ where
                 if i >= units.len() {
                     break;
                 }
-                // detlint::allow(wall_clock): tune.wall_s telemetry only —
-                // wall time is reported to ODS, never fed into a result.
-                let t0 = Instant::now();
-                let outcome = run_one(&units[i]).map(|out| ReplicaRun {
-                    result: out.result,
-                    sim_time_s: out.sim_time_s,
-                    wall_s: t0.elapsed().as_secs_f64(),
-                    cpi: out.cpi,
-                });
+                let outcome = run_one(&units[i]);
                 if outcome.is_err() {
                     failed.store(true, Ordering::Relaxed);
                 }
@@ -287,6 +278,35 @@ where
         }
     }
     Ok(runs)
+}
+
+/// [`run_tasks`] specialized to A/B replicas: wraps each unit's
+/// [`ReplicaOutput`] into a [`ReplicaRun`] with the wall-clock seconds its
+/// worker spent on it.
+///
+/// # Errors
+///
+/// Returns the lowest-plan-index error produced by `run_one`, if any.
+pub fn run_replicas<T, F>(
+    units: &[T],
+    workers: usize,
+    run_one: F,
+) -> Result<Vec<ReplicaRun>, UskuError>
+where
+    T: Sync,
+    F: Fn(&T) -> Result<ReplicaOutput, UskuError> + Sync,
+{
+    run_tasks(units, workers, |unit| {
+        // detlint::allow(wall_clock): tune.wall_s telemetry only —
+        // wall time is reported to ODS, never fed into a result.
+        let t0 = Instant::now();
+        run_one(unit).map(|out| ReplicaRun {
+            result: out.result,
+            sim_time_s: out.sim_time_s,
+            wall_s: t0.elapsed().as_secs_f64(),
+            cpi: out.cpi,
+        })
+    })
 }
 
 /// Records one completed A/B test as a trace span on the sink's current

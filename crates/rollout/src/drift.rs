@@ -9,7 +9,7 @@
 //! `RolloutRetune` stream family — is enqueued for the fleet tuner.
 
 use crate::error::RolloutError;
-use softsku_cluster::StagedFleet;
+use softsku_cluster::{FailureDomain, StagedFleet};
 use softsku_knobs::Knob;
 use softsku_telemetry::stats::{welch_test, RunningStats};
 use softsku_telemetry::streams::{stream_seed, IdentitySeed, StreamFamily};
@@ -80,6 +80,10 @@ pub struct RetuneRequest {
     /// Base seed of the re-tune campaign, derived from the lifecycle seed
     /// and the drift window through [`StreamFamily::RolloutRetune`].
     pub base_seed: u64,
+    /// The failure domain whose fleet drifted, when the fleet is tagged —
+    /// a scoped re-tune must target this pool/rack, not re-tune healthy
+    /// pools that happen to run the same service.
+    pub domain: Option<FailureDomain>,
 }
 
 /// What the monitor concluded.
@@ -224,6 +228,7 @@ impl DriftMonitor {
                     platform: sku.platform,
                     knobs: sku.knobs.clone(),
                     base_seed: self.retune_seed(sku, window),
+                    domain: fleet.domain().cloned(),
                 };
                 ods.append(
                     &SeriesKey::new(service, "rollout.retune"),
@@ -243,6 +248,9 @@ impl DriftMonitor {
                     "stream_family",
                     AttrValue::Str(StreamFamily::RolloutRetune.name().to_string()),
                 );
+                if let Some(domain) = &retune.domain {
+                    sink.attr(ev, "domain", AttrValue::Str(domain.to_string()));
+                }
                 let verdict = DriftVerdict::Drifted {
                     window,
                     gain,

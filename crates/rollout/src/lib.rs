@@ -19,6 +19,13 @@
 //!   a scoped [`drift::RetuneRequest`].
 //! * [`lifecycle::RolloutPipeline`] — the closed tune → compose → rollout
 //!   → monitor → re-tune cycle.
+//! * [`coordinator::FleetCoordinator`] — many services' staged rollouts
+//!   advanced concurrently on one shared deterministic worker pool, with
+//!   per-service canary budgets, a fleet-wide blast-radius cap, a rollback
+//!   circuit breaker, quarantine with exponential backoff, and graceful
+//!   degradation to holdback configs when a failure domain goes dark —
+//!   exercised by the seeded chaos campaign in
+//!   [`softsku_cluster::ChaosSchedule`].
 //!
 //! Every random stream the lifecycle consumes is a registered
 //! [`softsku_telemetry::streams::StreamFamily`] derivation of the lifecycle
@@ -30,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod compose;
+pub mod coordinator;
 pub mod drift;
 pub mod error;
 pub mod lifecycle;
@@ -38,6 +46,10 @@ pub mod rollout;
 pub use compose::{
     CandidateValidation, ComposerConfig, Composition, CompositionDecision, SkuComposer,
 };
+pub use coordinator::{
+    demo_campaign, CanaryBudget, CoordinatorConfig, CoordinatorReport, FleetCoordinator,
+    ServicePhase, ServicePlan, ServiceSummary,
+};
 pub use drift::{
     DeployedSku, DriftConfig, DriftMonitor, DriftOutcome, DriftVerdict, RetuneRequest, WindowGain,
 };
@@ -45,4 +57,5 @@ pub use error::RolloutError;
 pub use lifecycle::{CycleReport, LifecycleReport, PipelineConfig, RetunedCycle, RolloutPipeline};
 pub use rollout::{
     RolloutConfig, RolloutReport, RolloutState, StageReport, StageViolation, StagedRollout,
+    StepDecision,
 };

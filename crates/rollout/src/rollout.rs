@@ -129,11 +129,156 @@ impl RolloutReport {
     }
 }
 
+/// The guardrail decision after feeding one fleet sample to a stepwise
+/// rollout ([`StagedRollout::step`]).
+#[derive(Debug)]
+pub enum StepDecision {
+    /// Mid-stage; keep feeding samples.
+    Observing,
+    /// The stage completed clean; call [`StagedRollout::promote`] to move
+    /// on (the coordinator may defer this while a stage stall pins the
+    /// domain).
+    StageClean {
+        /// The completed stage's index.
+        stage: usize,
+        /// The completed stage's statistics.
+        report: StageReport,
+    },
+    /// A guardrail fired; the machine is now terminally
+    /// [`RolloutState::RolledBack`] — revert the fleet.
+    RolledBack {
+        /// The violating stage's index.
+        stage: usize,
+        /// The violating stage's statistics (carrying the violation).
+        report: StageReport,
+    },
+}
+
+/// Per-stage guardrail accumulator: the MAD screen, both groups' running
+/// statistics, and the hard-strikes fast path. Both the blocking
+/// ([`StagedRollout::execute`]) and stepwise ([`StagedRollout::step`])
+/// paths feed samples through this one type, so their verdicts are
+/// bit-identical by construction.
+#[derive(Debug)]
+struct StageObserver {
+    mad: MadFilter,
+    base: RunningStats,
+    cand: RunningStats,
+    screened: usize,
+    strikes: usize,
+    ticks: usize,
+    violation: Option<StageViolation>,
+}
+
+impl StageObserver {
+    fn new(config: &RolloutConfig) -> Self {
+        StageObserver {
+            mad: MadFilter::new(config.mad_window, config.mad_k),
+            base: RunningStats::new(),
+            cand: RunningStats::new(),
+            screened: 0,
+            strikes: 0,
+            ticks: 0,
+            violation: None,
+        }
+    }
+
+    /// Feeds one sample; returns `true` when the stage is over (tick
+    /// budget spent or the hard-strikes fast path fired).
+    fn push(&mut self, config: &RolloutConfig, sample: &StagedSample) -> bool {
+        self.ticks += 1;
+        let done = self.ticks >= config.ticks_per_stage;
+        let Some(cq) = sample.candidate_qps else {
+            return done;
+        };
+        let diff = cq / sample.baseline_qps - 1.0;
+        if diff < -3.0 * config.guard_loss {
+            self.strikes += 1;
+            if self.strikes >= config.max_strikes {
+                self.violation = Some(StageViolation::HardStrikes);
+                return true;
+            }
+        } else {
+            self.strikes = 0;
+        }
+        if !self.mad.accept(diff) {
+            self.screened += 1;
+            return done;
+        }
+        self.base.push(sample.baseline_qps);
+        self.cand.push(cq);
+        done
+    }
+
+    /// Closes the stage: applies the Welch end-of-stage verdict (unless a
+    /// mid-stage violation already fired) and produces the report.
+    fn finish(
+        self,
+        config: &RolloutConfig,
+        fraction: f64,
+        staged: usize,
+    ) -> Result<StageReport, RolloutError> {
+        let baseline_qps = self.base.mean();
+        let candidate_qps = self.cand.mean();
+        let relative_diff = if baseline_qps > 0.0 {
+            candidate_qps / baseline_qps - 1.0
+        } else {
+            0.0
+        };
+        let mut violation = self.violation;
+        if violation.is_none() {
+            violation = stage_end_verdict(config, &self.base, &self.cand)?;
+        }
+        Ok(StageReport {
+            fraction,
+            candidate_replicas: staged,
+            ticks: self.ticks,
+            screened: self.screened,
+            baseline_qps,
+            candidate_qps,
+            relative_diff,
+            violation,
+        })
+    }
+}
+
+/// Welch's guardrail at stage end: the candidate fails when it sits
+/// significantly below the shifted baseline `b × (1 − guard_loss)`.
+fn stage_end_verdict(
+    config: &RolloutConfig,
+    base: &RunningStats,
+    cand: &RunningStats,
+) -> Result<Option<StageViolation>, RolloutError> {
+    if base.count() < 2 || cand.count() < 2 {
+        // Too little surviving data to make a claim either way.
+        return Ok(None);
+    }
+    let b = base.summary()?;
+    let c = cand.summary()?;
+    let scale = 1.0 - config.guard_loss;
+    let floor = softsku_telemetry::stats::Summary::from_moments(
+        b.count(),
+        b.mean() * scale,
+        b.variance() * scale * scale,
+    );
+    // `mean_diff = floor − candidate`: positive when the candidate sits
+    // below the guard floor.
+    let welch = welch_test(&floor, &c);
+    if welch.mean_diff > 0.0 && welch.significant_at(config.confidence) {
+        return Ok(Some(StageViolation::SignificantLoss));
+    }
+    Ok(None)
+}
+
 /// Drives a [`StagedFleet`] through the configured canary stages.
 #[derive(Debug)]
 pub struct StagedRollout {
     config: RolloutConfig,
     state: RolloutState,
+    /// The in-flight stage accumulator of the stepwise path; `None` when
+    /// driven through the blocking [`StagedRollout::execute`] path or when
+    /// no stage is under observation.
+    observer: Option<StageObserver>,
 }
 
 impl StagedRollout {
@@ -142,12 +287,96 @@ impl StagedRollout {
         StagedRollout {
             config,
             state: RolloutState::Pending,
+            observer: None,
         }
     }
 
     /// Current state.
     pub fn state(&self) -> RolloutState {
         self.state
+    }
+
+    /// The guardrail configuration driving this rollout.
+    pub fn config(&self) -> &RolloutConfig {
+        &self.config
+    }
+
+    /// Begins stepwise observation: `Pending` → `Canary { stage: 0 }`.
+    /// Returns the first stage's fleet fraction (stage the fleet toward it
+    /// and start feeding samples through [`StagedRollout::step`]), or
+    /// `None` when the machine is not pending or has no stages.
+    pub fn begin(&mut self) -> Option<f64> {
+        match self.state {
+            RolloutState::Pending if !self.config.stages.is_empty() => {
+                self.state = RolloutState::Canary { stage: 0 };
+                self.observer = Some(StageObserver::new(&self.config));
+                Some(self.config.stages[0])
+            }
+            _ => None,
+        }
+    }
+
+    /// The fleet fraction of the stage currently under observation.
+    pub fn current_fraction(&self) -> Option<f64> {
+        match self.state {
+            RolloutState::Canary { stage } => self.config.stages.get(stage).copied(),
+            _ => None,
+        }
+    }
+
+    /// Feeds one fleet sample to the stage under observation; `staged` is
+    /// the candidate replica count the stage runs at (recorded into the
+    /// stage report). Terminal or idle machines observe samples as no-ops,
+    /// so a coordinator can keep ticking a rolled-back service's fleet
+    /// without special-casing.
+    ///
+    /// # Errors
+    ///
+    /// Statistical-summary errors from the end-of-stage verdict.
+    pub fn step(
+        &mut self,
+        sample: &StagedSample,
+        staged: usize,
+    ) -> Result<StepDecision, RolloutError> {
+        let RolloutState::Canary { stage } = self.state else {
+            return Ok(StepDecision::Observing);
+        };
+        let Some(observer) = self.observer.as_mut() else {
+            return Ok(StepDecision::Observing);
+        };
+        if !observer.push(&self.config, sample) {
+            return Ok(StepDecision::Observing);
+        }
+        // The observer was borrowed two lines up; take() cannot fail.
+        let observer = self.observer.take().expect("observer present");
+        let fraction = self.config.stages[stage];
+        let report = observer.finish(&self.config, fraction, staged)?;
+        if report.violation.is_some() {
+            self.state = RolloutState::RolledBack { stage };
+            return Ok(StepDecision::RolledBack { stage, report });
+        }
+        Ok(StepDecision::StageClean { stage, report })
+    }
+
+    /// Advances past a clean stage: `Canary { i }` → `Canary { i + 1 }`
+    /// (returning the new stage's fraction) or → `Deployed` after the last
+    /// stage (returning `None`). **A rolled-back machine never promotes**:
+    /// this returns `None` and the state stays `RolledBack` — the
+    /// invariant the property suite pins down.
+    pub fn promote(&mut self) -> Option<f64> {
+        let RolloutState::Canary { stage } = self.state else {
+            return None;
+        };
+        let next = stage + 1;
+        if next < self.config.stages.len() {
+            self.state = RolloutState::Canary { stage: next };
+            self.observer = Some(StageObserver::new(&self.config));
+            Some(self.config.stages[next])
+        } else {
+            self.state = RolloutState::Deployed;
+            self.observer = None;
+            None
+        }
     }
 
     /// Executes the staged rollout on `fleet`, recording every transition
@@ -270,85 +499,13 @@ impl StagedRollout {
         fraction: f64,
         staged: usize,
     ) -> Result<StageReport, RolloutError> {
-        let mut mad = MadFilter::new(self.config.mad_window, self.config.mad_k);
-        let mut base = RunningStats::new();
-        let mut cand = RunningStats::new();
-        let mut screened = 0usize;
-        let mut strikes = 0usize;
-        let mut ticks = 0usize;
-        let mut violation = None;
-        let hard_floor = -3.0 * self.config.guard_loss;
-        while ticks < self.config.ticks_per_stage {
+        let mut observer = StageObserver::new(&self.config);
+        while observer.ticks < self.config.ticks_per_stage {
             let sample: StagedSample = fleet.tick()?;
-            ticks += 1;
-            let Some(cq) = sample.candidate_qps else {
-                continue;
-            };
-            let diff = cq / sample.baseline_qps - 1.0;
-            if diff < hard_floor {
-                strikes += 1;
-                if strikes >= self.config.max_strikes {
-                    violation = Some(StageViolation::HardStrikes);
-                    break;
-                }
-            } else {
-                strikes = 0;
+            if observer.push(&self.config, &sample) {
+                break;
             }
-            if !mad.accept(diff) {
-                screened += 1;
-                continue;
-            }
-            base.push(sample.baseline_qps);
-            cand.push(cq);
         }
-
-        let baseline_qps = base.mean();
-        let candidate_qps = cand.mean();
-        let relative_diff = if baseline_qps > 0.0 {
-            candidate_qps / baseline_qps - 1.0
-        } else {
-            0.0
-        };
-        if violation.is_none() {
-            violation = self.stage_end_verdict(&base, &cand)?;
-        }
-        Ok(StageReport {
-            fraction,
-            candidate_replicas: staged,
-            ticks,
-            screened,
-            baseline_qps,
-            candidate_qps,
-            relative_diff,
-            violation,
-        })
-    }
-
-    /// Welch's guardrail at stage end: the candidate fails when it sits
-    /// significantly below the shifted baseline `b × (1 − guard_loss)`.
-    fn stage_end_verdict(
-        &self,
-        base: &RunningStats,
-        cand: &RunningStats,
-    ) -> Result<Option<StageViolation>, RolloutError> {
-        if base.count() < 2 || cand.count() < 2 {
-            // Too little surviving data to make a claim either way.
-            return Ok(None);
-        }
-        let b = base.summary()?;
-        let c = cand.summary()?;
-        let scale = 1.0 - self.config.guard_loss;
-        let floor = softsku_telemetry::stats::Summary::from_moments(
-            b.count(),
-            b.mean() * scale,
-            b.variance() * scale * scale,
-        );
-        // `mean_diff = floor − candidate`: positive when the candidate sits
-        // below the guard floor.
-        let welch = welch_test(&floor, &c);
-        if welch.mean_diff > 0.0 && welch.significant_at(self.config.confidence) {
-            return Ok(Some(StageViolation::SignificantLoss));
-        }
-        Ok(None)
+        observer.finish(&self.config, fraction, staged)
     }
 }

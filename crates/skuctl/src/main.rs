@@ -10,6 +10,7 @@
 //! skuctl cpi    [flags]   # per-arm CPI stacks: which TMAM bound each knob win relieved
 //! skuctl ledger [flags]   # the tiered-retention rollout.* ODS ledger
 //! skuctl export [flags]   # write Chrome trace-event JSON (Perfetto-loadable)
+//! skuctl chaos  [flags]   # replay the seeded chaos campaign: faults vs reactions
 //!
 //! flags: --service <name>  microservice to tune          [web]
 //!        --seed <u64>      base seed                     [21]
@@ -19,14 +20,17 @@
 //! ```
 
 use softsku_knobs::Knob;
-use softsku_rollout::{LifecycleReport, PipelineConfig, RolloutPipeline};
+use softsku_rollout::{
+    demo_campaign, CoordinatorConfig, FleetCoordinator, LifecycleReport, PipelineConfig,
+    RolloutPipeline,
+};
 use softsku_telemetry::trace::{AttrValue, TraceSink, TraceSpan};
 use softsku_workloads::{Microservice, PlatformKind};
 use std::num::NonZeroUsize;
 
 type BoxError = Box<dyn std::error::Error>;
 
-const USAGE: &str = "usage: skuctl <spans|cpi|ledger|export> \
+const USAGE: &str = "usage: skuctl <spans|cpi|ledger|export|chaos> \
 [--service <name>] [--seed <u64>] [--workers <n>] [--out <path>] [--smoke]";
 
 /// Parsed command line.
@@ -209,6 +213,55 @@ fn cmd_export(sink: &TraceSink, out: &str) -> Result<(), BoxError> {
     Ok(())
 }
 
+/// `skuctl chaos`: replay the seeded demo chaos campaign through the fleet
+/// coordinator and print its timeline — injected faults on the left,
+/// coordinator reactions on the right — straight from the `chaos.*` and
+/// `coordinator.*` ledger series. Deterministic: same seed, same bytes.
+fn cmd_chaos(args: &Args) -> Result<(), BoxError> {
+    let (topology, chaos, plans) = demo_campaign(args.seed)?;
+    let mut sink = softsku_telemetry::trace::TraceSink::new();
+    let report = FleetCoordinator::new(CoordinatorConfig::fast_test())
+        .with_workers(args.workers)
+        .run_traced(&topology, chaos, plans, args.seed, &mut sink)?;
+
+    // One timeline row per ledger entry: (time, is-fault, text). The ledger
+    // is appended in canonical tick order, so a stable sort by time keeps
+    // same-tick entries in injection-before-reaction order.
+    let mut rows: Vec<(f64, bool, String)> = Vec::new();
+    for key in report.ledger.keys() {
+        let fault = key.metric().starts_with("chaos.");
+        if !fault && !key.metric().starts_with("coordinator.") {
+            continue;
+        }
+        for &(t, value) in report.ledger.raw_points(key) {
+            rows.push((
+                t,
+                fault,
+                format!("{} {} [{value:.2}]", key.metric(), key.entity()),
+            ));
+        }
+    }
+    rows.sort_by(|a, b| {
+        a.0.total_cmp(&b.0)
+            .then_with(|| b.1.cmp(&a.1))
+            .then_with(|| a.2.cmp(&b.2))
+    });
+    println!(
+        "{:>10}  {:<42}  coordinator reaction",
+        "sim time", "injected fault"
+    );
+    for (t, fault, text) in &rows {
+        if *fault {
+            println!("{t:>9.0}s  {text:<42}");
+        } else {
+            println!("{t:>9.0}s  {:<42}  {text}", "");
+        }
+    }
+    println!();
+    print!("{}", report.render());
+    Ok(())
+}
+
 fn main() -> Result<(), BoxError> {
     let args = match parse_args() {
         Ok(args) => args,
@@ -217,6 +270,14 @@ fn main() -> Result<(), BoxError> {
             std::process::exit(2);
         }
     };
+
+    if args.command == "chaos" {
+        cmd_chaos(&args)?;
+        if args.smoke {
+            println!("smoke ok");
+        }
+        return Ok(());
+    }
 
     let (report, sink) = traced_run(&args)?;
     match args.command.as_str() {

@@ -107,12 +107,22 @@ pub enum StreamFamily {
     /// (`telemetry::trace`); only ever consulted for high-volume leaf
     /// spans, never for simulated results.
     ObsSpanSampling,
+    /// Pool-wide load-brownout arrivals of the rollout-layer chaos
+    /// campaign (`cluster::domains`).
+    ChaosBrownout,
+    /// Correlated code-push waves eroding several services' tuned gains at
+    /// once (`cluster::domains`).
+    ChaosPushWave,
+    /// Canary-replica crash arrivals (`cluster::domains`).
+    ChaosCanaryCrash,
+    /// Stuck/stalled stage-transition windows (`cluster::domains`).
+    ChaosStall,
 }
 
 impl StreamFamily {
     /// Every registered family, in declaration order. The uniqueness tests
     /// and the injectivity proptest iterate this.
-    pub const ALL: [StreamFamily; 27] = [
+    pub const ALL: [StreamFamily; 31] = [
         StreamFamily::EnvSamplerA,
         StreamFamily::EnvSamplerB,
         StreamFamily::EnvCommonLoad,
@@ -140,6 +150,10 @@ impl StreamFamily {
         StreamFamily::RolloutGroupNoise,
         StreamFamily::RolloutRetune,
         StreamFamily::ObsSpanSampling,
+        StreamFamily::ChaosBrownout,
+        StreamFamily::ChaosPushWave,
+        StreamFamily::ChaosCanaryCrash,
+        StreamFamily::ChaosStall,
     ];
 
     /// The family's XOR mask. Masks are pairwise distinct (tested below and
@@ -180,6 +194,10 @@ impl StreamFamily {
             StreamFamily::RolloutGroupNoise => 0x6E01_0007,
             StreamFamily::RolloutRetune => 0x2E7A_0008,
             StreamFamily::ObsSpanSampling => 0x5BA9_0009,
+            StreamFamily::ChaosBrownout => 0xB207_000A,
+            StreamFamily::ChaosPushWave => 0x3A4E_000B,
+            StreamFamily::ChaosCanaryCrash => 0xCC45_000C,
+            StreamFamily::ChaosStall => 0x57AB_000D,
         }
     }
 
@@ -213,6 +231,10 @@ impl StreamFamily {
             StreamFamily::RolloutGroupNoise => "rollout.group_noise",
             StreamFamily::RolloutRetune => "rollout.retune",
             StreamFamily::ObsSpanSampling => "obs.span_sampling",
+            StreamFamily::ChaosBrownout => "chaos.brownout",
+            StreamFamily::ChaosPushWave => "chaos.push_wave",
+            StreamFamily::ChaosCanaryCrash => "chaos.canary_crash",
+            StreamFamily::ChaosStall => "chaos.stall",
         }
     }
 }

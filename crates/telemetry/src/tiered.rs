@@ -171,6 +171,29 @@ impl TieredOds {
         .expect("static tier configuration is valid")
     }
 
+    /// The retention policy of the fleet coordinator's chaos ledger: a
+    /// chaos campaign is denser than a single rollout (every injected
+    /// fault, breaker trip, quarantine, and recovery lands as a point), so
+    /// it keeps a week of raw points before folding into six-hour buckets
+    /// for ninety days and daily buckets forever. Fast-test campaigns stay
+    /// entirely inside the raw tier.
+    pub fn chaos_ledger() -> Self {
+        TieredOds::with_tiers(
+            7.0 * 86_400.0,
+            vec![
+                TierSpec {
+                    bucket_s: 6.0 * 3_600.0,
+                    window_s: 90.0 * 86_400.0,
+                },
+                TierSpec {
+                    bucket_s: 86_400.0,
+                    window_s: f64::INFINITY,
+                },
+            ],
+        )
+        .expect("static tier configuration is valid")
+    }
+
     /// Number of configured downsampled tiers.
     pub fn tier_count(&self) -> usize {
         self.tiers.len()

@@ -1,0 +1,146 @@
+//! Property tests on the chaos-hardened rollout layer (ISSUE acceptance):
+//! the stepwise canary state machine never promotes again once a guardrail
+//! rolled it back — under arbitrary sample streams — and a coordinator
+//! whose canary budget is exhausted is terminal (no further exposure
+//! growth) under arbitrary chaos seeds.
+
+use proptest::prelude::*;
+use softsku::cluster::{
+    ChaosConfig, FailureDomain, FleetTopology, StagedFleet, StagedFleetConfig, StagedSample,
+};
+use softsku::rollout::{
+    CoordinatorConfig, FleetCoordinator, RolloutConfig, RolloutState, ServicePhase, ServicePlan,
+    StagedRollout, StepDecision,
+};
+use softsku::telemetry::streams::IdentitySeed;
+use softsku::workloads::{Microservice, PlatformKind};
+
+/// A synthetic fleet sample: per-replica baseline QPS plus the candidate
+/// group's relative gain (or an unstaged tick when `gain` is `None`).
+fn sample(tick: usize, baseline_qps: f64, gain: Option<f64>, staged: usize) -> StagedSample {
+    StagedSample {
+        time_s: 600.0 * (tick + 1) as f64,
+        load: 0.5,
+        baseline_replicas: 20 - staged,
+        candidate_replicas: staged,
+        baseline_qps,
+        candidate_qps: gain.map(|g| baseline_qps * (1.0 + g)),
+        code_pushes_total: tick as u64,
+    }
+}
+
+/// A tiny one-service plan for coordinator properties.
+fn tiny_plan(seed: u64) -> ServicePlan {
+    let profile = Microservice::Web.profile(PlatformKind::Skylake18).unwrap();
+    let baseline = profile.production_config.clone();
+    let candidate = baseline.clone();
+    let mut staged = StagedFleetConfig::fast_test();
+    staged.replicas = 10;
+    staged.window_insns = 2_000;
+    staged.pushes_per_hour = 0.0;
+    let fleet_seed = IdentitySeed::new(seed).field("prop-web").finish();
+    let fleet = StagedFleet::new(profile, baseline, candidate.clone(), staged, fleet_seed).unwrap();
+    ServicePlan {
+        name: "web".to_string(),
+        fleet,
+        candidate,
+        needs_reboot: false,
+        domain: FailureDomain::new("skl18", "r0"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever sample stream the fleet delivers, once a stage rolls the
+    /// candidate back the state machine stays rolled back: `promote()`
+    /// refuses forever and further steps are inert.
+    #[test]
+    fn rollback_is_absorbing(
+        gains in prop::collection::vec(
+            prop::option::of(-0.5f64..0.5), 1..120),
+        baseline_qps in 50.0f64..5_000.0,
+    ) {
+        let mut config = RolloutConfig::fast_test();
+        config.ticks_per_stage = 8;
+        config.mad_window = 6;
+        config.max_strikes = 3;
+        let mut rollout = StagedRollout::new(config);
+        prop_assert!(rollout.begin().is_some());
+
+        let mut tick = 0usize;
+        let mut rolled_back = false;
+        for gain in gains {
+            match rollout.step(&sample(tick, baseline_qps, gain, 5), 5).unwrap() {
+                StepDecision::StageClean { .. } => { rollout.promote(); }
+                StepDecision::RolledBack { .. } => { rolled_back = true; break; }
+                StepDecision::Observing => {}
+            }
+            tick += 1;
+            if rollout.state() == RolloutState::Deployed {
+                break;
+            }
+        }
+        if !rolled_back && rollout.state() != RolloutState::Deployed {
+            // Force a rollback with a catastrophic tail so the property is
+            // never vacuous: three consecutive hard-floor breaches.
+            loop {
+                match rollout.step(&sample(tick, baseline_qps, Some(-0.9), 5), 5).unwrap() {
+                    StepDecision::RolledBack { .. } => { rolled_back = true; break; }
+                    StepDecision::StageClean { .. } => { rollout.promote(); }
+                    StepDecision::Observing => {}
+                }
+                tick += 1;
+                if rollout.state() == RolloutState::Deployed {
+                    break;
+                }
+            }
+        }
+        if rolled_back {
+            let stage = match rollout.state() {
+                RolloutState::RolledBack { stage } => stage,
+                other => panic!("expected rollback, got {other:?}"),
+            };
+            for extra in 0..4 {
+                prop_assert_eq!(rollout.promote(), None, "promotion after rollback");
+                let decision = rollout
+                    .step(&sample(tick + extra, baseline_qps, Some(0.3), 5), 5)
+                    .unwrap();
+                prop_assert!(matches!(decision, StepDecision::Observing));
+                prop_assert_eq!(rollout.state(), RolloutState::RolledBack { stage });
+            }
+            prop_assert_eq!(rollout.current_fraction(), None);
+        }
+    }
+
+    /// Whatever the chaos seed, a coordinator whose per-service canary
+    /// budget runs dry before the stage target is terminally `Exhausted`,
+    /// with exposure frozen at no more than the spent budget.
+    #[test]
+    fn exhausted_budget_is_terminal_under_chaos(
+        seed in 0u64..1_000,
+        total_exposures in 1usize..4,
+    ) {
+        let mut cfg = CoordinatorConfig::fast_test();
+        cfg.rollout.ticks_per_stage = 6;
+        cfg.rollout.mad_window = 4;
+        cfg.budget.growth_per_tick = 2;
+        cfg.budget.total_exposures = total_exposures;
+        cfg.max_ticks = 96;
+        let mut chaos = ChaosConfig::campaign();
+        // Keep the pool lit so degradation cannot mask exhaustion.
+        chaos.blackout_prob = 0.0;
+        let report = FleetCoordinator::new(cfg)
+            .run(&FleetTopology::paper_pools(), chaos, vec![tiny_plan(seed)], seed)
+            .unwrap();
+        let s = &report.services[0];
+        // 10 replicas → the 25 % stage already needs 3 exposures, so a
+        // budget of at most 3 can never reach full deployment.
+        prop_assert_eq!(s.phase, ServicePhase::Exhausted);
+        prop_assert!(
+            s.candidate_replicas <= total_exposures,
+            "exposure {} exceeds budget {}", s.candidate_replicas, total_exposures
+        );
+        prop_assert!(report.converged());
+    }
+}
